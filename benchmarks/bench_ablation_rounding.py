@@ -1,0 +1,90 @@
+"""Ablation A: the randomized rounding of the mRR root count.
+
+Paper artifact: the Remark after Corollary 3.4 — fixing ``k = floor(n/eta)``
+weakens the estimator bracket to ``[1 - 1/sqrt(e), 1]`` and fixing
+``k = floor(n/eta) + 1`` to ``[1 - 1/e, 2]``, while randomized rounding with
+``E[k] = n/eta`` achieves ``[1 - 1/e, 1]``.
+
+We measure the estimate/truth ratio for all three rules on small graphs
+where the exact expected truncated spread is enumerable, and assert:
+
+* randomized rounding stays inside ``[1 - 1/e, 1]`` (with sampling slack);
+* the ceil rule *overestimates* on instances with fractional ``n/eta``
+  (ratios above 1), which randomized rounding prevents.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_artifact
+from repro.diffusion.exact import exact_expected_truncated_spread
+from repro.diffusion.ic import IndependentCascade
+from repro.graph import generators
+from repro.experiments.report import format_table
+from repro.sampling.mrr import RootCountRule, estimate_truncated_spread_mrr
+
+THETA = 20_000
+ONE_MINUS_INV_E = 1.0 - 1.0 / np.e
+
+# (graph, eta, seed-set) instances with fractional n/eta and enumerable
+# realization spaces.
+def make_instances():
+    instances = []
+    star = generators.star_graph(7, probability=0.5)
+    instances.append(("star7/eta2", star, 2, [0]))
+    instances.append(("star7/eta3", star, 3, [0]))
+    example = generators.paper_example_graph()
+    instances.append(("example/eta3", example, 3, [0]))
+    chain = generators.path_graph(5, probability=0.75)
+    instances.append(("chain5/eta2", chain, 2, [0]))
+    return instances
+
+
+def measure():
+    model = IndependentCascade()
+    rows = []
+    ratios = {"randomized": [], "floor": [], "ceil": []}
+    for name, graph, eta, seeds in make_instances():
+        truth = exact_expected_truncated_spread(graph, model, seeds, eta)
+        k_floor = graph.n // eta
+        rules = {
+            "randomized": None,  # default rule
+            "floor": RootCountRule.fixed(max(1, k_floor), graph.n),
+            "ceil": RootCountRule.fixed(min(graph.n, k_floor + 1), graph.n),
+        }
+        row = [name, round(truth, 3)]
+        for label, rule in rules.items():
+            estimate = estimate_truncated_spread_mrr(
+                graph, model, seeds, eta, theta=THETA, seed=17, rule=rule
+            )
+            ratio = estimate / truth
+            ratios[label].append(ratio)
+            row.append(round(ratio, 3))
+        rows.append(row)
+    return rows, ratios
+
+
+@pytest.mark.benchmark(group="ablation-rounding")
+def test_rounding_ablation(benchmark):
+    rows, ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print_artifact(
+        format_table(
+            ["instance", "exact E[Gamma]", "randomized", "floor k", "ceil k"],
+            rows,
+            title="Ablation A: estimate/truth ratio by root-count rule "
+            "(paper brackets: randomized [0.632, 1], floor [0.394, 1], ceil [0.632, 2])",
+        )
+    )
+
+    slack = 0.06
+    # Theorem 3.3: randomized rounding stays within [1 - 1/e, 1].
+    for ratio in ratios["randomized"]:
+        assert ONE_MINUS_INV_E - slack <= ratio <= 1.0 + slack
+
+    # The ceil rule overestimates somewhere (its bracket reaches 2).
+    assert max(ratios["ceil"]) > 1.0 + slack / 2
+
+    # The floor rule never overestimates (bracket [1 - 1/sqrt(e), 1]).
+    for ratio in ratios["floor"]:
+        assert ratio <= 1.0 + slack

@@ -1,0 +1,48 @@
+"""Figure 3: degree distributions of the tested datasets.
+
+Paper artifact: log-log scatter of (degree, fraction of nodes) showing
+power-law tails on all four datasets.  We regenerate the distribution,
+print a log-binned histogram, and assert the two power-law signatures:
+monotone-decreasing head and a tail stretching far beyond the mean degree.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_artifact
+from repro.experiments import datasets, figures
+from repro.experiments.report import format_histogram
+
+BENCH_N = 1000
+
+
+def build_distributions():
+    override = {name: BENCH_N for name in datasets.dataset_names()}
+    return figures.figure3(n_override=override, seed=0)
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_degree_distributions(benchmark):
+    distributions = benchmark.pedantic(build_distributions, rounds=1, iterations=1)
+
+    for name, dist in distributions.items():
+        print_artifact(format_histogram(dist, title=f"Figure 3: {name} (fraction of nodes by degree)"))
+
+    for name, dist in distributions.items():
+        degrees = np.array(sorted(dist))
+        fractions = np.array([dist[d] for d in degrees])
+        assert fractions.sum() == pytest.approx(1.0)
+
+        # Power-law signature 1: the distribution's mode sits at or below
+        # the mean — the mass is in the small degrees, not the hubs.
+        mean_degree = float((degrees * fractions).sum())
+        modal_degree = degrees[fractions.argmax()]
+        assert modal_degree <= 1.2 * mean_degree, name
+
+        # Power-law signature 2: a heavy tail — max degree far above the
+        # mean (Figure 3 spans 3-4 decades on the big graphs).
+        assert degrees.max() > 4 * mean_degree, name
+
+        # Fraction mass decays: the top-decile degrees hold little mass.
+        tail_mass = fractions[degrees > 4 * mean_degree].sum()
+        assert tail_mass < 0.1, name

@@ -1,0 +1,44 @@
+"""Figure 5: running time vs. threshold under the IC model.
+
+Paper artifact: wall-clock per algorithm across the eta sweep.  Reproduced
+shape (from the same measurement campaign as Figure 4):
+
+* adaptive algorithms get slower as eta grows (more rounds);
+* the batched variants are markedly faster than plain ASTI at the largest
+  threshold (paper: ASTI-8 runs at ~5% of ASTI's time);
+* AdaptIM is slower than ASTI (paper: 10-20x; the gap compounds with eta
+  because AdaptIM's RR count scales with n_i rather than eta_i).
+
+Absolute seconds are host-specific; orderings are the reproduction target.
+"""
+
+import pytest
+
+from benchmarks.conftest import QUICK, SWEEP_ALGORITHMS, get_sweep, print_artifact
+from repro.experiments.report import format_series
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_time_vs_threshold_ic(benchmark):
+    sweep = benchmark.pedantic(lambda: get_sweep("IC"), rounds=1, iterations=1)
+
+    series = {alg: sweep.series(alg, "seconds") for alg in SWEEP_ALGORITHMS}
+    print_artifact(
+        format_series(
+            "eta/n",
+            list(QUICK["eta_fractions"]),
+            series,
+            title="Figure 5 (nethept-sim, IC): mean seconds vs threshold",
+            precision=3,
+        )
+    )
+
+    largest = -1
+    # ASTI slows down as the threshold grows.
+    assert series["ASTI"][largest] >= series["ASTI"][0]
+
+    # The batched variants beat plain ASTI at the largest threshold.
+    assert series["ASTI-8"][largest] <= series["ASTI"][largest]
+
+    # AdaptIM is no faster than ASTI at the largest threshold.
+    assert series["AdaptIM"][largest] >= 0.8 * series["ASTI"][largest]

@@ -1,0 +1,42 @@
+"""Figure 6: number of seed nodes vs. threshold under the LT model.
+
+Paper artifact: the Figure 4 comparison repeated under linear threshold.
+Reproduced shape: same orderings as IC, and (paper Section 6.3) "all the
+algorithms select less nodes under the LT model than those under the IC
+model" — the LT live-edge process is more permissive on weighted-cascade
+weights, which we check against the cached IC sweep.
+"""
+
+import pytest
+
+from benchmarks.conftest import QUICK, SWEEP_ALGORITHMS, get_sweep, print_artifact
+from repro.experiments.report import format_series
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_seeds_vs_threshold_lt(benchmark):
+    sweep = benchmark.pedantic(lambda: get_sweep("LT"), rounds=1, iterations=1)
+
+    series = {alg: sweep.series(alg, "seeds") for alg in SWEEP_ALGORITHMS}
+    print_artifact(
+        format_series(
+            "eta/n",
+            list(QUICK["eta_fractions"]),
+            series,
+            title="Figure 6 (nethept-sim, LT): mean seed count vs threshold",
+        )
+    )
+
+    for alg in ("ASTI", "ASTI-4", "AdaptIM"):
+        seeds = series[alg]
+        assert all(seeds[i] <= seeds[i + 1] + 1e-9 for i in range(len(seeds) - 1)), alg
+
+    # AdaptIM close to ASTI under LT as well.
+    for a, b in zip(series["ASTI"], series["AdaptIM"]):
+        assert b <= 1.5 * a + 1.0
+
+    # Cross-model comparison at the largest threshold (Section 6.3).
+    ic_sweep = get_sweep("IC")
+    lt_seeds = series["ASTI"][-1]
+    ic_seeds = ic_sweep.series("ASTI", "seeds")[-1]
+    assert lt_seeds <= ic_seeds * 1.15 + 1.0

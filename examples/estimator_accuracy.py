@@ -1,0 +1,62 @@
+"""Why mRR sets: estimating the truncated spread accurately.
+
+The technical heart of the paper (Sections 3.2-3.3): vanilla single-root RR
+sets are *biased* for the truncated influence spread — the natural
+estimator ``eta * Pr[R hits S]`` shrinks the truth by up to ``eta/n`` — and
+the fix is the multi-root mRR set whose randomized root count satisfies
+``E[k] = n / eta``, giving the Theorem 3.3 bracket
+``(1 - 1/e) E[Gamma(S)] <= E[Gamma~(S)] <= E[Gamma(S)]``.
+
+This example computes the exact expected truncated spread on a small graph
+by full realization enumeration and compares four estimators against it.
+
+Run::
+
+    python examples/estimator_accuracy.py
+"""
+
+from repro import IndependentCascade
+from repro.diffusion.exact import exact_expected_truncated_spread
+from repro.graph import generators
+from repro.experiments.report import format_table
+from repro.sampling.mrr import RootCountRule, estimate_truncated_spread_mrr
+
+THETA = 30_000
+
+
+def main() -> None:
+    model = IndependentCascade()
+    graph = generators.star_graph(9, probability=0.5)
+    eta = 2
+    seeds = [0]  # the hub
+
+    truth = exact_expected_truncated_spread(graph, model, seeds, eta)
+    k_floor = graph.n // eta
+
+    rules = {
+        "mRR, randomized rounding (paper)": None,
+        f"mRR, fixed k = {k_floor} (floor)": RootCountRule.fixed(k_floor, graph.n),
+        f"mRR, fixed k = {k_floor + 1} (ceil)": RootCountRule.fixed(k_floor + 1, graph.n),
+        "single-root RR (k = 1, biased)": RootCountRule.fixed(1, graph.n),
+    }
+
+    rows = []
+    for label, rule in rules.items():
+        estimate = estimate_truncated_spread_mrr(
+            graph, model, seeds, eta, theta=THETA, seed=3, rule=rule
+        )
+        rows.append([label, round(estimate, 3), round(estimate / truth, 3)])
+
+    print(f"9-node star with p = 0.5, eta = {eta}, seed set = {{hub}}")
+    print(f"exact E[Gamma(S)] = {truth:.3f} (by enumerating all realizations)\n")
+    print(format_table(
+        ["estimator", "estimate", "estimate / truth"],
+        rows,
+        title="Theorem 3.3 bracket: randomized rounding stays in [0.632, 1]",
+    ))
+    print("\nNote the single-root RR estimator's collapse: with k = 1 its")
+    print("expectation is (eta/n) * E[I(S)], the Section 3.2 negative result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Topic-aware campaigns: one network, different items, different seeds.
+
+The paper notes its algorithms extend to topic-aware diffusion models
+(Section 2, citing Barbieri et al.).  This example shows the extension end
+to end: the same social network propagates a *sports* item and a *tech*
+item with different per-topic edge probabilities, and the adaptive
+minimizer produces different seed sets and seed counts for each.
+
+Run::
+
+    python examples/topic_aware_campaign.py
+"""
+
+from repro import ASTI
+from repro.diffusion.topic import TopicAwareGraph, TopicAwareIC, TopicMixture
+from repro.graph import generators, weighting
+
+
+def main() -> None:
+    # The underlying follow graph; scalar weights become the average item.
+    topology = generators.preferential_attachment(800, 2, seed=3, directed=False)
+    weighted = weighting.scaled_cascade(topology, 0.6)
+
+    # Three latent topics; each edge redistributes its probability mass
+    # over them (a user may relay sports gossip but never tech news).
+    taw = TopicAwareGraph.random(weighted, num_topics=3, seed=11)
+    eta = 80
+
+    items = {
+        "sports item (pure topic 0)": TopicMixture.single(0, 3),
+        "tech item   (pure topic 1)": TopicMixture.single(1, 3),
+        "broad item  (uniform mix) ": TopicMixture.uniform(3),
+    }
+
+    print(f"network: {taw.n} users / {taw.m} edges, 3 topics, target eta = {eta}\n")
+    results = {}
+    for label, mixture in items.items():
+        model, graph = TopicAwareIC.for_item(taw, mixture)
+        result = ASTI(model, epsilon=0.5).run(graph, eta, seed=21)
+        results[label] = result
+        print(f"{label}: {result.seed_count:>3} seeds -> {result.spread} influenced "
+              f"(first seeds: {result.seeds[:5]})")
+
+    seed_sets = [tuple(r.seeds[:3]) for r in results.values()]
+    if len(set(seed_sets)) > 1:
+        print("\nDifferent items favor different seed users — the reason "
+              "topic-aware campaigns cannot reuse one seed set per network.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — Adaptive Seed Minimization (SIGMOD 2019) reproduced in Python.
+
+An implementation of Tang et al., *Efficient Approximation Algorithms for
+Adaptive Seed Minimization* (SIGMOD 2019), including every substrate the
+paper depends on:
+
+* :mod:`repro.graph` — CSR directed probabilistic graphs, generators, IO;
+* :mod:`repro.diffusion` — IC and LT models, live-edge realizations;
+* :mod:`repro.sampling` — RR sets and the paper's multi-root mRR sets;
+* :mod:`repro.core` — the ASTI framework with TRIM and TRIM-B;
+* :mod:`repro.baselines` — AdaptIM, ATEUC, heuristics, exact oracles;
+* :mod:`repro.experiments` — the harness regenerating every table/figure.
+
+Quickstart::
+
+    from repro import ASTI, IndependentCascade
+    from repro.graph import generators, weighting
+
+    graph = weighting.weighted_cascade(
+        generators.preferential_attachment(2000, 2, seed=1, directed=False)
+    )
+    result = ASTI(IndependentCascade(), epsilon=0.5).run(graph, eta=200, seed=7)
+    print(result.seed_count, "seeds reached", result.spread, "nodes")
+"""
+
+from repro._version import __version__
+from repro.core.asti import ASTI, AdaptiveRunResult, run_adaptive_policy
+from repro.core.trim import TrimSelector
+from repro.core.trim_b import TrimBSelector
+from repro.baselines.adaptim import AdaptIM
+from repro.baselines.ateuc import ATEUC
+from repro.diffusion.ic import IndependentCascade
+from repro.diffusion.lt import LinearThreshold
+from repro.graph.digraph import DiGraph
+from repro.errors import ReproError
+
+__all__ = [
+    "__version__",
+    "ASTI",
+    "AdaptiveRunResult",
+    "run_adaptive_policy",
+    "TrimSelector",
+    "TrimBSelector",
+    "AdaptIM",
+    "ATEUC",
+    "IndependentCascade",
+    "LinearThreshold",
+    "DiGraph",
+    "ReproError",
+]

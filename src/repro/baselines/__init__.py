@@ -1,0 +1,45 @@
+"""Baseline algorithms from the paper's evaluation and sanity heuristics."""
+
+from repro.baselines.adaptim import AdaptIM
+from repro.baselines.celf import (
+    CelfResult,
+    celf_influence_maximization,
+    celf_seed_minimization,
+)
+from repro.baselines.ateuc import ATEUC, NonAdaptiveRunResult
+from repro.baselines.heuristics import (
+    DegreeMinimizationResult,
+    DegreeSelector,
+    degree_seed_minimization,
+)
+from repro.baselines.imm import (
+    ImmDiagnostics,
+    imm_diagnostics,
+    imm_influence_maximization,
+)
+from repro.baselines.opim import (
+    InfluenceMaximizationResult,
+    OpimNodeSelector,
+    opim_influence_maximization,
+)
+from repro.baselines.oracle import ExactOracleSelector, MonteCarloOracleSelector
+
+__all__ = [
+    "AdaptIM",
+    "CelfResult",
+    "celf_influence_maximization",
+    "celf_seed_minimization",
+    "ATEUC",
+    "NonAdaptiveRunResult",
+    "DegreeSelector",
+    "DegreeMinimizationResult",
+    "degree_seed_minimization",
+    "ImmDiagnostics",
+    "imm_diagnostics",
+    "imm_influence_maximization",
+    "OpimNodeSelector",
+    "opim_influence_maximization",
+    "InfluenceMaximizationResult",
+    "ExactOracleSelector",
+    "MonteCarloOracleSelector",
+]

@@ -1,0 +1,32 @@
+"""Core algorithms: the ASTI framework, TRIM, and TRIM-B."""
+
+from repro.core.asti import ASTI, AdaptiveRunResult, RoundRecord, run_adaptive_policy
+from repro.core.policy import (
+    FirstNodeSelector,
+    RandomNodeSelector,
+    SeedSelector,
+    Selection,
+    SelectionDiagnostics,
+)
+from repro.core.session import AdaptiveSession, Observation
+from repro.core.trim import TrimParameters, TrimSelector
+from repro.core.trim_b import TrimBParameters, TrimBSelector, batch_guarantee
+
+__all__ = [
+    "ASTI",
+    "AdaptiveRunResult",
+    "RoundRecord",
+    "run_adaptive_policy",
+    "SeedSelector",
+    "Selection",
+    "SelectionDiagnostics",
+    "FirstNodeSelector",
+    "RandomNodeSelector",
+    "AdaptiveSession",
+    "Observation",
+    "TrimSelector",
+    "TrimParameters",
+    "TrimBSelector",
+    "TrimBParameters",
+    "batch_guarantee",
+]

@@ -1,0 +1,206 @@
+"""ASTI: the Adaptive Seed minimization via Truncated Influence framework.
+
+Paper Algorithm 1.  The framework is a thin loop over a
+:class:`~repro.core.session.AdaptiveSession`:
+
+    repeat
+        select a batch maximizing expected marginal truncated spread
+        observe its realized influence, shrink the residual graph
+    until at least eta nodes are active
+
+Instantiated with :class:`~repro.core.trim.TrimSelector` it carries the
+paper's ``(ln eta + 1)^2 / ((1 - 1/e)(1 - eps))`` expected approximation
+guarantee (Theorem 3.7); with :class:`~repro.core.trim_b.TrimBSelector` the
+guarantee gains a ``rho_b`` factor (Theorem 4.2).
+
+The generic :func:`run_adaptive_policy` driver is shared with the baseline
+selectors so every algorithm in the evaluation is scored by the same loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.policy import SeedSelector
+from repro.core.session import AdaptiveSession, Observation
+from repro.core.trim import TrimSelector
+from repro.core.trim_b import TrimBSelector
+from repro.diffusion.base import DiffusionModel
+from repro.diffusion.realization import Realization
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import RandomSource, as_generator
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One round of the adaptive loop, for reporting."""
+
+    observation: Observation
+    samples_generated: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class AdaptiveRunResult:
+    """Outcome of a full adaptive run on one ground-truth realization."""
+
+    policy_name: str
+    eta: int
+    seeds: List[int]                 # original node ids, commitment order
+    spread: int                      # realized activation count at the end
+    rounds: List[RoundRecord] = field(repr=False, default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def seed_count(self) -> int:
+        """The paper's primary metric: ``|S(pi, phi)|``."""
+        return len(self.seeds)
+
+    @property
+    def achieved_target(self) -> bool:
+        """Adaptive policies always achieve it; kept for symmetric reports."""
+        return self.spread >= self.eta
+
+    @property
+    def total_samples(self) -> int:
+        """Total (m)RR sets generated across rounds."""
+        return sum(r.samples_generated for r in self.rounds)
+
+    @property
+    def marginal_spreads(self) -> List[int]:
+        """Per-round realized marginal spread (paper Figure 10's series)."""
+        return [r.observation.marginal_spread for r in self.rounds]
+
+
+def run_adaptive_policy(
+    graph: DiGraph,
+    eta: int,
+    model: DiffusionModel,
+    selector: SeedSelector,
+    realization: Optional[Realization] = None,
+    seed: RandomSource = None,
+    max_rounds: Optional[int] = None,
+) -> AdaptiveRunResult:
+    """Run the select-observe loop to completion (Algorithm 1).
+
+    Parameters
+    ----------
+    graph, eta, model:
+        Problem instance.
+    selector:
+        Per-round strategy (TRIM, TRIM-B, or a baseline selector).
+    realization:
+        Ground truth world.  ``None`` samples a fresh one from ``model``;
+        the experiment harness passes pre-sampled realizations so all
+        algorithms face identical worlds.
+    seed:
+        Random stream for the selector's internal sampling (and for the
+        realization, when one must be drawn here).
+    max_rounds:
+        Safety valve for tests; ``None`` allows up to ``eta`` rounds, which
+        is the true worst case (every round activates >= 1 node).
+    """
+    check_positive_int(eta, "eta")
+    if eta > graph.n:
+        raise ConfigurationError(f"eta={eta} exceeds node count {graph.n}")
+    rng = as_generator(seed)
+    if realization is None:
+        realization = model.sample_realization(graph, rng)
+
+    session = AdaptiveSession(graph, eta, realization)
+    rounds: List[RoundRecord] = []
+    limit = max_rounds if max_rounds is not None else eta
+    total = Stopwatch()
+    with total:
+        while not session.finished:
+            if len(rounds) >= limit:
+                raise ConfigurationError(
+                    f"adaptive run exceeded {limit} rounds; either max_rounds "
+                    f"is too small or the selector is not making progress"
+                )
+            round_timer = Stopwatch()
+            with round_timer:
+                selection = selector.select(session.residual, rng)
+                observation = session.observe(selection.nodes)
+            rounds.append(
+                RoundRecord(
+                    observation=observation,
+                    samples_generated=selection.diagnostics.samples_generated,
+                    seconds=round_timer.elapsed,
+                )
+            )
+    return AdaptiveRunResult(
+        policy_name=selector.name,
+        eta=eta,
+        seeds=session.seeds_committed,
+        spread=session.activated_count,
+        rounds=rounds,
+        seconds=total.elapsed,
+    )
+
+
+class ASTI:
+    """User-facing facade: ASTI instantiated with TRIM or TRIM-B.
+
+    Examples
+    --------
+    >>> from repro import ASTI, IndependentCascade
+    >>> from repro.graph import generators, weighting
+    >>> graph = weighting.weighted_cascade(
+    ...     generators.preferential_attachment(300, 3, seed=1, directed=False))
+    >>> result = ASTI(IndependentCascade(), epsilon=0.5).run(graph, eta=30, seed=7)
+    >>> result.spread >= 30
+    True
+    """
+
+    def __init__(
+        self,
+        model: DiffusionModel,
+        epsilon: float = 0.5,
+        batch_size: int = 1,
+        max_samples: Optional[int] = None,
+    ):
+        check_fraction(epsilon, "epsilon")
+        check_positive_int(batch_size, "batch_size")
+        self.model = model
+        self.epsilon = epsilon
+        self.batch_size = batch_size
+        if batch_size == 1:
+            self.selector: SeedSelector = TrimSelector(
+                model, epsilon=epsilon, max_samples=max_samples
+            )
+        else:
+            self.selector = TrimBSelector(
+                model, b=batch_size, epsilon=epsilon, max_samples=max_samples
+            )
+
+    @property
+    def name(self) -> str:
+        """Report label: ``ASTI`` for b=1, ``ASTI-b`` otherwise."""
+        return "ASTI" if self.batch_size == 1 else f"ASTI-{self.batch_size}"
+
+    def run(
+        self,
+        graph: DiGraph,
+        eta: int,
+        realization: Optional[Realization] = None,
+        seed: RandomSource = None,
+        max_rounds: Optional[int] = None,
+    ) -> AdaptiveRunResult:
+        """Solve one ASM instance; see :func:`run_adaptive_policy`."""
+        result = run_adaptive_policy(
+            graph, eta, self.model, self.selector, realization, seed, max_rounds
+        )
+        # Present under the facade's name (selector reports TRIM/TRIM-B).
+        return AdaptiveRunResult(
+            policy_name=self.name,
+            eta=result.eta,
+            seeds=result.seeds,
+            spread=result.spread,
+            rounds=result.rounds,
+            seconds=result.seconds,
+        )

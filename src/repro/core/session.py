@@ -1,0 +1,133 @@
+"""The adaptive select-observe loop's state machine.
+
+:class:`AdaptiveSession` owns the ground-truth realization (unknown to the
+policy), the set of activated nodes, and the current residual graph.  A
+policy interacts with it in two moves, mirroring the paper's Figure 1:
+
+1. read :attr:`AdaptiveSession.residual` (the inactive-node subgraph and the
+   shortfall ``eta_i``) and choose seeds on it;
+2. call :meth:`AdaptiveSession.observe` with the chosen residual-local node
+   ids — the session reveals the realized cascade from those seeds through
+   still-inactive nodes, activates them, and shrinks the residual graph.
+
+Keeping observation here (rather than in each algorithm) guarantees every
+policy is scored against exactly the same ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.diffusion.realization import Realization
+from repro.errors import ConfigurationError, InfeasibleTargetError
+from repro.graph.digraph import DiGraph
+from repro.graph.residual import ResidualGraph, initial_residual, shrink_residual
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What one round of seeding revealed."""
+
+    round_index: int
+    seeds: np.ndarray               # original node ids committed this round
+    newly_activated: np.ndarray     # original ids activated (includes seeds)
+    total_activated: int            # cumulative activation count after the round
+    shortfall_before: int           # eta_i at the start of the round
+
+    @property
+    def marginal_spread(self) -> int:
+        """``I_phi(S_round | S_previous)``: nodes this round activated."""
+        return len(self.newly_activated)
+
+
+class AdaptiveSession:
+    """Ground truth + bookkeeping for one adaptive run."""
+
+    def __init__(self, graph: DiGraph, eta: int, realization: Realization):
+        if realization.graph is not graph:
+            # Identity (not equality) on purpose: a realization indexes the
+            # graph's edge arrays positionally.
+            raise ConfigurationError(
+                "realization was sampled from a different graph object"
+            )
+        if not 1 <= eta <= graph.n:
+            raise ConfigurationError(
+                f"eta must be in [1, n={graph.n}], got {eta}"
+            )
+        self.graph = graph
+        self.eta = int(eta)
+        self.realization = realization
+        self.active = np.zeros(graph.n, dtype=bool)
+        self.residual: ResidualGraph = initial_residual(graph, eta)
+        self.history: List[Observation] = []
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def activated_count(self) -> int:
+        """Number of active nodes so far (``n - n_i``)."""
+        return int(self.active.sum())
+
+    @property
+    def finished(self) -> bool:
+        """Whether the target ``eta`` has been reached."""
+        return self.activated_count >= self.eta
+
+    @property
+    def round_index(self) -> int:
+        """1-based index of the round about to be played."""
+        return self.residual.round_index
+
+    @property
+    def seeds_committed(self) -> List[int]:
+        """All seeds selected so far, in commitment order (original ids)."""
+        committed: List[int] = []
+        for obs in self.history:
+            committed.extend(int(s) for s in obs.seeds)
+        return committed
+
+    # ------------------------------------------------------------------
+    # The observe half of select-observe
+    # ------------------------------------------------------------------
+
+    def observe(self, local_seed_ids: Sequence[int]) -> Observation:
+        """Commit seeds (residual-local ids) and reveal their influence.
+
+        Returns the :class:`Observation`; afterwards :attr:`residual`
+        reflects round ``i + 1``.
+        """
+        if self.finished:
+            raise ConfigurationError("session already reached its target")
+        if len(local_seed_ids) == 0:
+            raise ConfigurationError("must commit at least one seed")
+        original_seeds = self.residual.to_original(local_seed_ids)
+
+        inactive = ~self.active
+        newly_mask = self.realization.reachable_from(original_seeds, allowed=inactive)
+        newly = np.flatnonzero(newly_mask)
+        self.active |= newly_mask
+
+        shortfall_before = self.residual.shortfall
+        newly_local = np.flatnonzero(newly_mask[self.residual.original_ids])
+        self.residual = shrink_residual(self.residual, newly_local)
+
+        observation = Observation(
+            round_index=len(self.history) + 1,
+            seeds=original_seeds,
+            newly_activated=newly,
+            total_activated=self.activated_count,
+            shortfall_before=shortfall_before,
+        )
+        self.history.append(observation)
+
+        if not self.finished and self.residual.shortfall > self.residual.n:
+            # Cannot happen while shortfall accounting is consistent, but a
+            # corrupted realization (or eta > n slipping through) must fail
+            # loudly rather than loop forever.
+            raise InfeasibleTargetError(self.residual.shortfall, self.residual.n)
+        return observation

@@ -1,0 +1,48 @@
+"""Diffusion substrate: IC and LT models, realizations, estimation."""
+
+from repro.diffusion.base import DiffusionModel
+from repro.diffusion.ic import IndependentCascade
+from repro.diffusion.lt import LinearThreshold, check_lt_validity
+from repro.diffusion.realization import ICRealization, LTRealization, Realization
+from repro.diffusion.montecarlo import (
+    MonteCarloEstimate,
+    estimate_activation_probabilities,
+    estimate_spread,
+    estimate_truncated_spread,
+)
+from repro.diffusion.topic import (
+    TopicAwareGraph,
+    TopicAwareIC,
+    TopicMixture,
+    effective_probability_bounds,
+)
+from repro.diffusion.exact import (
+    enumerate_ic_realizations,
+    enumerate_lt_realizations,
+    enumerate_realizations,
+    exact_expected_spread,
+    exact_expected_truncated_spread,
+)
+
+__all__ = [
+    "DiffusionModel",
+    "IndependentCascade",
+    "LinearThreshold",
+    "check_lt_validity",
+    "Realization",
+    "ICRealization",
+    "LTRealization",
+    "TopicAwareGraph",
+    "TopicAwareIC",
+    "TopicMixture",
+    "effective_probability_bounds",
+    "MonteCarloEstimate",
+    "estimate_spread",
+    "estimate_truncated_spread",
+    "estimate_activation_probabilities",
+    "enumerate_ic_realizations",
+    "enumerate_lt_realizations",
+    "enumerate_realizations",
+    "exact_expected_spread",
+    "exact_expected_truncated_spread",
+]

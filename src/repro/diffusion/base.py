@@ -1,0 +1,111 @@
+"""The diffusion-model interface.
+
+A :class:`DiffusionModel` encapsulates everything the rest of the library
+needs to know about a propagation process:
+
+* forward: sample the set of nodes a seed set activates
+  (:meth:`DiffusionModel.simulate`), or sample a whole live-edge
+  :class:`~repro.diffusion.realization.Realization` up front
+  (:meth:`DiffusionModel.sample_realization`) so the same world can be
+  replayed deterministically — the adaptive session depends on this;
+* reverse: perform one stochastic reverse BFS from a set of root nodes
+  (:meth:`DiffusionModel.reverse_sample`), the primitive underlying both
+  single-root RR sets and the paper's multi-root mRR sets.
+
+The two concrete models are :class:`~repro.diffusion.ic.IndependentCascade`
+and :class:`~repro.diffusion.lt.LinearThreshold`; the paper's algorithms are
+model-agnostic given these primitives (Section 2: "our algorithms can be
+easily extended to other propagation models").
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import RandomSource, as_generator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.diffusion.realization import Realization
+
+
+class DiffusionModel(abc.ABC):
+    """Abstract stochastic diffusion process over a :class:`DiGraph`."""
+
+    #: Short identifier used in reports ("IC", "LT").
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sample_realization(
+        self, graph: DiGraph, seed: RandomSource = None
+    ) -> "Realization":
+        """Sample a full live-edge realization of ``graph``.
+
+        The returned object supports deterministic replay: forward spreads
+        computed from it are pure functions of the seeds.
+        """
+
+    @abc.abstractmethod
+    def reverse_sample(
+        self,
+        graph: DiGraph,
+        roots: np.ndarray,
+        rng: np.random.Generator,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """One stochastic reverse BFS from ``roots``.
+
+        Parameters
+        ----------
+        graph:
+            The (residual) graph to sample in.
+        roots:
+            Array of distinct root node ids (size 1 recovers a vanilla
+            RR set; size ``k`` gives a multi-root mRR set).
+        rng:
+            Generator supplying the edge coin flips.
+        out:
+            A caller-provided boolean scratch array of length ``graph.n``
+            that is **all False on entry**; the implementation marks visited
+            nodes True and must reset it to all False before returning
+            (the sampler pools this buffer across millions of calls).
+
+        Returns
+        -------
+        numpy.ndarray
+            The visited node ids (including the roots themselves).
+        """
+
+    def simulate(
+        self,
+        graph: DiGraph,
+        seeds: Sequence[int],
+        seed: RandomSource = None,
+    ) -> np.ndarray:
+        """Sample one cascade from ``seeds``; returns a boolean active mask.
+
+        Default implementation materializes a realization and walks it; the
+        concrete models override with direct on-the-fly sampling which skips
+        the realization allocation.
+        """
+        realization = self.sample_realization(graph, seed)
+        return realization.reachable_from(seeds)
+
+    def spread(
+        self,
+        graph: DiGraph,
+        seeds: Sequence[int],
+        seed: RandomSource = None,
+    ) -> int:
+        """Sample one cascade and return its size ``I(S)``."""
+        return int(self.simulate(graph, seeds, seed).sum())
+
+    # Convenience used by a few call sites and the tests.
+    def _rng(self, seed: RandomSource) -> np.random.Generator:
+        return as_generator(seed)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,164 @@
+"""The linear threshold (LT) model (Kempe et al. 2003).
+
+Every node ``v`` draws a threshold ``lambda_v ~ Uniform[0, 1]``; it activates
+once the probabilities of its edges from active in-neighbors sum past the
+threshold.  The model requires incoming probabilities to sum to at most 1
+per node (the paper's weighted-cascade weights satisfy this with equality
+wherever ``indeg > 0``).
+
+The equivalent live-edge process — each node independently keeps at most one
+incoming edge, edge ``(u, v)`` with probability ``p(u, v)`` — drives both
+:meth:`LinearThreshold.sample_realization` and the reverse random walk used
+for (m)RR sets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.diffusion.base import DiffusionModel
+from repro.diffusion.realization import LTRealization
+from repro.errors import DiffusionError
+from repro.graph.digraph import DiGraph, gather_csr_rows
+from repro.utils.rng import RandomSource, as_generator
+
+_SUM_TOLERANCE = 1e-9
+
+
+def check_lt_validity(graph: DiGraph) -> None:
+    """Raise :class:`DiffusionError` unless in-probabilities sum to <= 1."""
+    src, dst, probs = graph.edge_arrays()
+    sums = np.zeros(graph.n, dtype=np.float64)
+    np.add.at(sums, dst, probs)
+    worst = float(sums.max()) if graph.n else 0.0
+    if worst > 1.0 + _SUM_TOLERANCE:
+        offender = int(sums.argmax())
+        raise DiffusionError(
+            f"LT requires incoming probabilities to sum to <= 1; node "
+            f"{offender} has sum {worst:.6f}"
+        )
+
+
+class LinearThreshold(DiffusionModel):
+    """Stateless LT model.
+
+    Parameters
+    ----------
+    validate:
+        If ``True`` (default), every entry point checks the LT weight
+        constraint once per graph object (cached by object id).
+    """
+
+    name = "LT"
+
+    def __init__(self, validate: bool = True):
+        self._validate = validate
+        self._checked_ids: set = set()
+
+    def _ensure_valid(self, graph: DiGraph) -> None:
+        if not self._validate:
+            return
+        key = id(graph)
+        if key in self._checked_ids:
+            return
+        check_lt_validity(graph)
+        # Bound the cache so long-lived models do not pin arbitrary many ids.
+        if len(self._checked_ids) > 4096:
+            self._checked_ids.clear()
+        self._checked_ids.add(key)
+
+    def sample_realization(
+        self, graph: DiGraph, seed: RandomSource = None
+    ) -> LTRealization:
+        """Each node keeps at most one incoming edge (live-edge sampling)."""
+        self._ensure_valid(graph)
+        rng = as_generator(seed)
+        indptr, sources, probs = graph.in_csr
+        chosen = np.full(graph.n, -1, dtype=np.int64)
+        draws = rng.random(graph.n)
+        for v in range(graph.n):
+            start, end = int(indptr[v]), int(indptr[v + 1])
+            if start == end:
+                continue
+            acc = 0.0
+            x = draws[v]
+            for pos in range(start, end):
+                acc += probs[pos]
+                if x < acc:
+                    chosen[v] = sources[pos]
+                    break
+        return LTRealization(graph, chosen)
+
+    def simulate(
+        self,
+        graph: DiGraph,
+        seeds: Sequence[int],
+        seed: RandomSource = None,
+    ) -> np.ndarray:
+        """Forward threshold process; avoids materializing a realization."""
+        self._ensure_valid(graph)
+        rng = as_generator(seed)
+        indptr, targets, probs = graph.out_csr
+        thresholds = rng.random(graph.n)
+        accumulated = np.zeros(graph.n, dtype=np.float64)
+        active = np.zeros(graph.n, dtype=bool)
+        for s in seeds:
+            s = int(s)
+            graph._check_node(s)
+            active[s] = True
+        frontier = np.flatnonzero(active)
+        while len(frontier):
+            positions = gather_csr_rows(indptr, frontier)
+            if len(positions) == 0:
+                break
+            touched = targets[positions]
+            np.add.at(accumulated, touched, probs[positions])
+            crossers = np.unique(touched)
+            fresh = crossers[
+                (~active[crossers]) & (accumulated[crossers] >= thresholds[crossers])
+            ]
+            active[fresh] = True
+            frontier = fresh
+        return active
+
+    def reverse_sample(
+        self,
+        graph: DiGraph,
+        roots: np.ndarray,
+        rng: np.random.Generator,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Reverse random walk: each visited node keeps <= 1 in-edge.
+
+        Under LT the reverse-reachable structure is a union of backward
+        walks, one step per visited node, which is why LT sampling is
+        cheaper than IC in practice (paper Section 6.3).
+        """
+        self._ensure_valid(graph)
+        indptr, sources, probs = graph.in_csr
+        visited = out
+        roots = np.asarray(roots, dtype=np.int64)
+        visited[roots] = True
+        collected = list(int(r) for r in roots)
+        stack = list(collected)
+        while stack:
+            v = stack.pop()
+            start, end = int(indptr[v]), int(indptr[v + 1])
+            if start == end:
+                continue
+            x = rng.random()
+            acc = 0.0
+            for pos in range(start, end):
+                acc += probs[pos]
+                if x < acc:
+                    u = int(sources[pos])
+                    if not visited[u]:
+                        visited[u] = True
+                        collected.append(u)
+                        stack.append(u)
+                    break
+        result = np.asarray(collected, dtype=np.int64)
+        visited[result] = False  # restore the pooled scratch buffer
+        return result

@@ -1,0 +1,166 @@
+"""Live-edge realizations.
+
+A *realization* ``phi`` fixes the outcome of every random choice in the
+diffusion process (paper Section 2.1): under IC every edge is independently
+live or blocked; under LT every node selects at most one live incoming edge.
+Given a realization, influence propagation is deterministic — the spread of
+a seed set is the set of nodes reachable from it over live edges.
+
+The adaptive machinery leans on this: the experiment harness samples a
+handful of ground-truth realizations per dataset (the paper uses 20) and the
+:class:`~repro.core.session.AdaptiveSession` reveals each one incrementally
+as the policy commits seeds.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import DiGraph, gather_csr_rows
+
+
+class Realization(abc.ABC):
+    """A deterministic world sampled from a diffusion model."""
+
+    def __init__(self, graph: DiGraph):
+        self.graph = graph
+
+    @abc.abstractmethod
+    def is_edge_live(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``u -> v`` is live in this world."""
+
+    @abc.abstractmethod
+    def reachable_from(
+        self,
+        seeds: Sequence[int],
+        allowed: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Boolean mask of nodes reachable from ``seeds`` over live edges.
+
+        ``allowed`` (optional boolean mask) restricts traversal to a node
+        subset: nodes outside it are neither activated nor traversed.  This
+        implements observation inside a residual graph without re-indexing
+        the realization.
+        """
+
+    def spread(self, seeds: Sequence[int], allowed: Optional[np.ndarray] = None) -> int:
+        """``I_phi(S)``: the number of nodes activated by ``seeds``."""
+        return int(self.reachable_from(seeds, allowed).sum())
+
+    def truncated_spread(
+        self,
+        seeds: Sequence[int],
+        eta: int,
+        allowed: Optional[np.ndarray] = None,
+    ) -> int:
+        """``Gamma_phi(S) = min{I_phi(S), eta}`` (paper Definition 2.2)."""
+        return min(self.spread(seeds, allowed), eta)
+
+    def _start_mask(self, seeds: Sequence[int], allowed: Optional[np.ndarray]) -> np.ndarray:
+        """Shared seed validation: returns the initial visited mask."""
+        visited = np.zeros(self.graph.n, dtype=bool)
+        for s in seeds:
+            s = int(s)
+            if not 0 <= s < self.graph.n:
+                raise NodeNotFoundError(s, self.graph.n)
+            if allowed is None or allowed[s]:
+                visited[s] = True
+        return visited
+
+
+class ICRealization(Realization):
+    """IC world: a boolean live flag per edge, aligned with the out-CSR."""
+
+    def __init__(self, graph: DiGraph, live_edges: np.ndarray):
+        super().__init__(graph)
+        live_edges = np.asarray(live_edges, dtype=bool)
+        if live_edges.shape != (graph.m,):
+            raise ValueError(
+                f"live_edges must have shape ({graph.m},), got {live_edges.shape}"
+            )
+        self.live_edges = live_edges
+
+    def is_edge_live(self, u: int, v: int) -> bool:
+        indptr, targets, _ = self.graph.out_csr
+        start, end = int(indptr[u]), int(indptr[u + 1])
+        for pos in range(start, end):
+            if targets[pos] == v:
+                if self.live_edges[pos]:
+                    return True
+        return False
+
+    def reachable_from(
+        self,
+        seeds: Sequence[int],
+        allowed: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        visited = self._start_mask(seeds, allowed)
+        indptr, targets, _ = self.graph.out_csr
+        frontier = np.flatnonzero(visited)
+        while len(frontier):
+            positions = gather_csr_rows(indptr, frontier)
+            positions = positions[self.live_edges[positions]]
+            candidates = targets[positions]
+            if allowed is not None:
+                candidates = candidates[allowed[candidates]]
+            fresh = np.unique(candidates[~visited[candidates]])
+            visited[fresh] = True
+            frontier = fresh
+        return visited
+
+    def live_edge_count(self) -> int:
+        """Number of live edges (testing/diagnostics)."""
+        return int(self.live_edges.sum())
+
+
+class LTRealization(Realization):
+    """LT world: each node's single chosen live in-edge (or none).
+
+    ``chosen_source[v]`` is the selected in-neighbor of ``v``, or ``-1`` when
+    ``v`` selected no incoming edge.  This is the classic live-edge
+    equivalence of the linear threshold model (Kempe et al. 2003).
+    """
+
+    def __init__(self, graph: DiGraph, chosen_source: np.ndarray):
+        super().__init__(graph)
+        chosen_source = np.asarray(chosen_source, dtype=np.int64)
+        if chosen_source.shape != (graph.n,):
+            raise ValueError(
+                f"chosen_source must have shape ({graph.n},), got {chosen_source.shape}"
+            )
+        self.chosen_source = chosen_source
+
+    def is_edge_live(self, u: int, v: int) -> bool:
+        return bool(self.chosen_source[v] == u)
+
+    def reachable_from(
+        self,
+        seeds: Sequence[int],
+        allowed: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        visited = self._start_mask(seeds, allowed)
+        indptr, targets, _ = self.graph.out_csr
+        frontier = np.flatnonzero(visited)
+        while len(frontier):
+            positions = gather_csr_rows(indptr, frontier)
+            sources = np.repeat(
+                frontier, indptr[frontier + 1] - indptr[frontier]
+            )
+            candidates = targets[positions]
+            # Edge u -> v is live exactly when v chose u.
+            live = self.chosen_source[candidates] == sources
+            candidates = candidates[live]
+            if allowed is not None:
+                candidates = candidates[allowed[candidates]]
+            fresh = np.unique(candidates[~visited[candidates]])
+            visited[fresh] = True
+            frontier = fresh
+        return visited
+
+    def live_edge_count(self) -> int:
+        """Number of live edges, i.e. nodes that selected an in-edge."""
+        return int((self.chosen_source >= 0).sum())

@@ -1,0 +1,82 @@
+"""Experiment harness: datasets, configs, sweeps, metrics, reporting."""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    KNOWN_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    paper_config,
+    quick_config,
+)
+from repro.experiments.datasets import (
+    DATASETS,
+    DatasetSpec,
+    LARGE_ETA_FRACTIONS,
+    SMALL_ETA_FRACTIONS,
+    dataset_names,
+    eta_fractions_for,
+    get_spec,
+    load_dataset,
+)
+from repro.experiments.harness import (
+    AlgorithmOutcome,
+    RunObservation,
+    SweepResult,
+    build_algorithm,
+    run_eta_point,
+    run_sweep,
+    sample_shared_realizations,
+)
+from repro.experiments.metrics import (
+    Table3Cell,
+    improvement_ratio,
+    overshoot_fraction,
+    speedup,
+    table3_cell,
+)
+from repro.experiments.campaign import CampaignResult, CampaignScale, run_campaign
+from repro.experiments.export import (
+    sweep_to_rows,
+    sweep_to_summary,
+    write_sweep_csv,
+    write_sweep_json,
+)
+from repro.experiments.plotting import ascii_line_plot
+from repro.experiments import figures, report
+
+__all__ = [
+    "ExperimentConfig",
+    "KNOWN_ALGORITHMS",
+    "PAPER_ALGORITHMS",
+    "paper_config",
+    "quick_config",
+    "DATASETS",
+    "DatasetSpec",
+    "LARGE_ETA_FRACTIONS",
+    "SMALL_ETA_FRACTIONS",
+    "dataset_names",
+    "eta_fractions_for",
+    "get_spec",
+    "load_dataset",
+    "AlgorithmOutcome",
+    "RunObservation",
+    "SweepResult",
+    "build_algorithm",
+    "run_eta_point",
+    "run_sweep",
+    "sample_shared_realizations",
+    "Table3Cell",
+    "improvement_ratio",
+    "overshoot_fraction",
+    "speedup",
+    "table3_cell",
+    "CampaignResult",
+    "CampaignScale",
+    "run_campaign",
+    "sweep_to_rows",
+    "sweep_to_summary",
+    "write_sweep_csv",
+    "write_sweep_json",
+    "ascii_line_plot",
+    "figures",
+    "report",
+]

@@ -1,0 +1,138 @@
+"""Full measurement campaigns: every dataset x model x figure in one call.
+
+:func:`run_campaign` drives the complete paper reproduction — the sweeps
+behind Figures 4-7 and 9, Table 3's ratio cells, and Figure 8's feasibility
+counts — across a configurable dataset/model grid, and renders a Markdown
+report of paper-expected vs. measured shapes.  ``EXPERIMENTS.md`` at the
+repository root is a (hand-annotated) product of this runner.
+
+Scale is controlled by one :class:`CampaignScale` object so "CI smoke",
+"laptop evening", and "as close to paper as pure Python gets" are each a
+single preset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import datasets
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import table3
+from repro.experiments.harness import SweepResult, run_sweep
+from repro.experiments.report import format_series, format_table
+from repro.utils.timing import Stopwatch, format_seconds
+
+
+@dataclass(frozen=True)
+class CampaignScale:
+    """Knobs trading fidelity for wall-clock."""
+
+    graph_n: Optional[int]          # None = dataset defaults
+    realizations: int
+    eta_fractions: Optional[Tuple[float, ...]]  # None = paper sweep
+    max_samples: Optional[int]
+    algorithms: Tuple[str, ...] = ("ASTI", "ASTI-4", "ASTI-8", "AdaptIM", "ATEUC")
+
+    @classmethod
+    def smoke(cls) -> "CampaignScale":
+        """Seconds-per-cell: CI and tests."""
+        return cls(
+            graph_n=220,
+            realizations=2,
+            eta_fractions=(0.03, 0.1),
+            max_samples=8_000,
+            algorithms=("ASTI", "ASTI-4", "ATEUC"),
+        )
+
+    @classmethod
+    def laptop(cls) -> "CampaignScale":
+        """Minutes-per-cell: a faithful relative comparison."""
+        return cls(
+            graph_n=None,
+            realizations=10,
+            eta_fractions=None,
+            max_samples=60_000,
+        )
+
+
+@dataclass
+class CampaignResult:
+    """All sweeps of a campaign, keyed by (dataset, model)."""
+
+    scale: CampaignScale
+    sweeps: Dict[Tuple[str, str], SweepResult] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def markdown_report(self) -> str:
+        """Render the campaign as a Markdown document."""
+        lines: List[str] = ["# Campaign report", ""]
+        lines.append(
+            f"_{len(self.sweeps)} sweeps, {format_seconds(self.seconds)} total._"
+        )
+        for (dataset, model), sweep in self.sweeps.items():
+            lines.append("")
+            lines.append(f"## {dataset} / {model}")
+            fractions = list(sweep.config.eta_fractions)
+            for metric, label in (
+                ("seeds", "Seeds (Figures 4/6)"),
+                ("seconds", "Seconds (Figures 5/7)"),
+                ("spread", "Spread (Figure 9)"),
+            ):
+                series = {
+                    alg: sweep.series(alg, metric)
+                    for alg in sweep.config.algorithms
+                }
+                lines.append("")
+                lines.append("```")
+                lines.append(
+                    format_series("eta/n", fractions, series, title=label, precision=3)
+                )
+                lines.append("```")
+            cells = table3(sweep) if "ATEUC" in sweep.config.algorithms else []
+            if cells:
+                lines.append("")
+                lines.append("```")
+                lines.append(
+                    format_table(
+                        ["eta/n", "ASTI improvement over ATEUC"],
+                        [[c.eta_fraction, c.rendered()] for c in cells],
+                        title="Table 3 cells",
+                    )
+                )
+                lines.append("```")
+        return "\n".join(lines) + "\n"
+
+
+def run_campaign(
+    dataset_names: Sequence[str] = ("nethept-sim",),
+    models: Sequence[str] = ("IC", "LT"),
+    scale: CampaignScale = None,
+    seed: int = 0,
+) -> CampaignResult:
+    """Run every (dataset, model) sweep in the grid."""
+    scale = scale if scale is not None else CampaignScale.smoke()
+    result = CampaignResult(scale=scale)
+    timer = Stopwatch()
+    with timer:
+        for dataset in dataset_names:
+            fractions = (
+                scale.eta_fractions
+                if scale.eta_fractions is not None
+                else datasets.eta_fractions_for(dataset)
+            )
+            for model in models:
+                config = ExperimentConfig(
+                    dataset=dataset,
+                    model_name=model,
+                    eta_fractions=fractions,
+                    algorithms=scale.algorithms,
+                    realizations=scale.realizations,
+                    graph_n=scale.graph_n,
+                    max_samples=scale.max_samples,
+                    seed=seed,
+                    label=f"campaign:{dataset}:{model}",
+                )
+                result.sweeps[(dataset, model)] = run_sweep(config)
+    result.seconds = timer.elapsed
+    return result

@@ -1,0 +1,119 @@
+"""Experiment configuration objects.
+
+One :class:`ExperimentConfig` pins everything a sweep needs: the dataset,
+the diffusion model, the threshold fractions, the algorithm roster, the
+number of ground-truth realizations, and the accuracy/budget knobs.  Two
+presets are provided:
+
+* :func:`paper_config` — the paper's setting (20 realizations,
+  ``epsilon = 0.5``, the dataset's published eta sweep);
+* :func:`quick_config` — a shrunk profile for tests and CI-scale
+  benchmarks (fewer realizations, smaller graphs, sample caps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.diffusion.base import DiffusionModel
+from repro.diffusion.ic import IndependentCascade
+from repro.diffusion.lt import LinearThreshold
+from repro.errors import ConfigurationError
+from repro.experiments import datasets
+from repro.utils.validation import check_fraction, check_positive_int
+
+#: Roster labels understood by the harness.
+KNOWN_ALGORITHMS = ("ASTI", "ASTI-2", "ASTI-4", "ASTI-8", "AdaptIM", "ATEUC")
+
+#: The paper's full roster (Section 6.1).
+PAPER_ALGORITHMS: Tuple[str, ...] = KNOWN_ALGORITHMS
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A fully pinned experiment: dataset x model x sweep x roster."""
+
+    dataset: str
+    model_name: str = "IC"                       # "IC" or "LT"
+    eta_fractions: Sequence[float] = (0.05, 0.10)
+    algorithms: Sequence[str] = ("ASTI", "ATEUC")
+    realizations: int = 20
+    epsilon: float = 0.5
+    graph_n: Optional[int] = None                # None = dataset default
+    max_samples: Optional[int] = None            # per-round mRR/RR cap
+    seed: int = 0
+    label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        datasets.get_spec(self.dataset)  # validates the name
+        if self.model_name not in ("IC", "LT"):
+            raise ConfigurationError(
+                f"model_name must be 'IC' or 'LT', got {self.model_name!r}"
+            )
+        check_positive_int(self.realizations, "realizations")
+        check_fraction(self.epsilon, "epsilon")
+        for fraction in self.eta_fractions:
+            if not 0.0 < fraction <= 1.0:
+                raise ConfigurationError(
+                    f"eta fractions must be in (0, 1], got {fraction}"
+                )
+        unknown = set(self.algorithms) - set(KNOWN_ALGORITHMS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown algorithms {sorted(unknown)}; known: {KNOWN_ALGORITHMS}"
+            )
+
+    def make_model(self) -> DiffusionModel:
+        """Instantiate the configured diffusion model."""
+        return IndependentCascade() if self.model_name == "IC" else LinearThreshold()
+
+    def build_graph(self):
+        """Materialize the configured dataset graph."""
+        return datasets.load_dataset(self.dataset, n=self.graph_n, seed=self.seed)
+
+    def eta_values(self, n: int) -> Tuple[int, ...]:
+        """Absolute thresholds for a graph of ``n`` nodes (min 1)."""
+        return tuple(max(1, int(round(fraction * n))) for fraction in self.eta_fractions)
+
+    def scaled(self, **changes) -> "ExperimentConfig":
+        """Return a copy with fields replaced (convenience wrapper)."""
+        return replace(self, **changes)
+
+
+def paper_config(dataset: str, model_name: str = "IC") -> ExperimentConfig:
+    """The paper's Section 6.1 setting for ``dataset``."""
+    return ExperimentConfig(
+        dataset=dataset,
+        model_name=model_name,
+        eta_fractions=datasets.eta_fractions_for(dataset),
+        algorithms=PAPER_ALGORITHMS,
+        realizations=20,
+        epsilon=0.5,
+        label=f"paper:{dataset}:{model_name}",
+    )
+
+
+def quick_config(
+    dataset: str = "nethept-sim",
+    model_name: str = "IC",
+    graph_n: int = 400,
+    realizations: int = 3,
+    algorithms: Sequence[str] = ("ASTI", "ASTI-4", "AdaptIM", "ATEUC"),
+    eta_fractions: Sequence[float] = (0.05, 0.15),
+    max_samples: Optional[int] = 20_000,
+    seed: int = 0,
+) -> ExperimentConfig:
+    """A minutes-not-hours profile for tests and smoke benchmarks."""
+    return ExperimentConfig(
+        dataset=dataset,
+        model_name=model_name,
+        eta_fractions=tuple(eta_fractions),
+        algorithms=tuple(algorithms),
+        realizations=realizations,
+        epsilon=0.5,
+        graph_n=graph_n,
+        max_samples=max_samples,
+        seed=seed,
+        label=f"quick:{dataset}:{model_name}",
+    )

@@ -1,0 +1,104 @@
+"""Export experiment results to CSV and JSON.
+
+The harness objects (:class:`~repro.experiments.harness.SweepResult`,
+:class:`~repro.experiments.harness.AlgorithmOutcome`) are in-memory Python;
+these functions serialize them so external plotting tools can regenerate
+the paper's figures from the exact measured numbers (the benchmarks print
+ASCII, but a paper-grade reproduction wants the raw points).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.experiments.harness import SweepResult
+
+PathLike = Union[str, Path]
+
+#: Column order of the per-run CSV rows.
+RUN_COLUMNS = (
+    "dataset",
+    "model",
+    "eta",
+    "algorithm",
+    "realization",
+    "seed_count",
+    "spread",
+    "achieved",
+    "seconds",
+)
+
+
+def sweep_to_rows(sweep: SweepResult) -> List[Dict[str, object]]:
+    """Flatten a sweep into one dict per (eta, algorithm, realization)."""
+    rows: List[Dict[str, object]] = []
+    for eta in sweep.eta_values:
+        for algorithm, outcome in sweep.outcomes[eta].items():
+            for run in outcome.runs:
+                rows.append(
+                    {
+                        "dataset": sweep.config.dataset,
+                        "model": sweep.config.model_name,
+                        "eta": eta,
+                        "algorithm": algorithm,
+                        "realization": run.realization_index,
+                        "seed_count": run.seed_count,
+                        "spread": run.spread,
+                        "achieved": run.achieved,
+                        "seconds": run.seconds,
+                    }
+                )
+    return rows
+
+
+def write_sweep_csv(sweep: SweepResult, path: PathLike) -> int:
+    """Write the flattened per-run rows as CSV; returns the row count."""
+    rows = sweep_to_rows(sweep)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(RUN_COLUMNS))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def sweep_to_summary(sweep: SweepResult) -> Dict[str, object]:
+    """A JSON-ready aggregate: mean metrics per (eta, algorithm)."""
+    points = []
+    for eta in sweep.eta_values:
+        for algorithm, outcome in sweep.outcomes[eta].items():
+            points.append(
+                {
+                    "eta": eta,
+                    "algorithm": algorithm,
+                    "mean_seed_count": outcome.mean_seed_count,
+                    "mean_spread": outcome.mean_spread,
+                    "mean_seconds": outcome.mean_seconds,
+                    "feasibility_rate": outcome.feasibility_rate,
+                    "runs": len(outcome.runs),
+                }
+            )
+    return {
+        "dataset": sweep.config.dataset,
+        "model": sweep.config.model_name,
+        "eta_fractions": list(sweep.config.eta_fractions),
+        "realizations": sweep.config.realizations,
+        "epsilon": sweep.config.epsilon,
+        "points": points,
+    }
+
+
+def write_sweep_json(sweep: SweepResult, path: PathLike, indent: int = 2) -> None:
+    """Write the aggregate summary as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(sweep_to_summary(sweep), handle, indent=indent)
+        handle.write("\n")
+
+
+def read_sweep_json(path: PathLike) -> Dict[str, object]:
+    """Load a summary previously written by :func:`write_sweep_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,211 @@
+"""The multi-realization comparison harness.
+
+Reproduces the paper's measurement protocol (Section 6): sample a fixed set
+of ground-truth realizations per dataset (the paper uses 20), run every
+algorithm against the *same* realizations, and report averages.
+
+Adaptive algorithms (ASTI variants, AdaptIM) run once per realization.
+Non-adaptive ATEUC selects its seed set once per ``(graph, eta)`` and is
+then *evaluated* on each realization — which is where the N/A entries of
+Table 3 come from: a fixed set can undershoot ``eta`` on some worlds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.adaptim import AdaptIM
+from repro.baselines.ateuc import ATEUC
+from repro.core.asti import ASTI
+from repro.diffusion.base import DiffusionModel
+from repro.diffusion.realization import Realization
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import spawn_generators
+from repro.utils.stats import summarize
+
+
+@dataclass(frozen=True)
+class RunObservation:
+    """One algorithm on one ground-truth realization."""
+
+    realization_index: int
+    seed_count: int
+    spread: int
+    achieved: bool
+    seconds: float
+    marginal_spreads: Tuple[int, ...] = ()
+
+
+@dataclass
+class AlgorithmOutcome:
+    """All runs of one algorithm at one ``(graph, eta)`` point."""
+
+    algorithm: str
+    eta: int
+    runs: List[RunObservation] = field(default_factory=list)
+
+    @property
+    def mean_seed_count(self) -> float:
+        return summarize([r.seed_count for r in self.runs]).mean
+
+    @property
+    def mean_spread(self) -> float:
+        return summarize([r.spread for r in self.runs]).mean
+
+    @property
+    def mean_seconds(self) -> float:
+        return summarize([r.seconds for r in self.runs]).mean
+
+    @property
+    def feasibility_rate(self) -> float:
+        """Fraction of realizations on which ``eta`` was actually reached."""
+        return sum(r.achieved for r in self.runs) / len(self.runs)
+
+    @property
+    def always_feasible(self) -> bool:
+        return all(r.achieved for r in self.runs)
+
+
+def build_algorithm(
+    label: str,
+    model: DiffusionModel,
+    epsilon: float,
+    max_samples: Optional[int],
+):
+    """Instantiate a roster entry from its label."""
+    if label == "ASTI":
+        return ASTI(model, epsilon=epsilon, batch_size=1, max_samples=max_samples)
+    if label.startswith("ASTI-"):
+        batch = int(label.split("-", 1)[1])
+        return ASTI(model, epsilon=epsilon, batch_size=batch, max_samples=max_samples)
+    if label == "AdaptIM":
+        return AdaptIM(model, epsilon=epsilon, max_samples=max_samples)
+    if label == "ATEUC":
+        return ATEUC(model)
+    raise ConfigurationError(f"unknown algorithm label {label!r}")
+
+
+def sample_shared_realizations(
+    graph: DiGraph,
+    model: DiffusionModel,
+    count: int,
+    seed: int,
+) -> List[Realization]:
+    """The shared ground-truth worlds every algorithm is scored against."""
+    streams = spawn_generators(seed, count)
+    return [model.sample_realization(graph, rng) for rng in streams]
+
+
+def run_eta_point(
+    graph: DiGraph,
+    model: DiffusionModel,
+    eta: int,
+    algorithms: Sequence[str],
+    realizations: List[Realization],
+    epsilon: float = 0.5,
+    max_samples: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[str, AlgorithmOutcome]:
+    """Compare ``algorithms`` at a single threshold ``eta``."""
+    outcomes: Dict[str, AlgorithmOutcome] = {}
+    for label in algorithms:
+        algorithm = build_algorithm(label, model, epsilon, max_samples)
+        outcome = AlgorithmOutcome(algorithm=label, eta=eta)
+        if label == "ATEUC":
+            _run_non_adaptive(algorithm, graph, eta, realizations, seed, outcome)
+        else:
+            _run_adaptive(algorithm, graph, eta, realizations, seed, outcome)
+        outcomes[label] = outcome
+    return outcomes
+
+
+def _run_adaptive(algorithm, graph, eta, realizations, seed, outcome) -> None:
+    # Each realization gets an independent sampling stream derived from the
+    # harness seed, so reruns are bit-identical.
+    streams = spawn_generators(seed + 1, len(realizations))
+    for index, (phi, rng) in enumerate(zip(realizations, streams)):
+        result = algorithm.run(graph, eta, realization=phi, seed=rng)
+        outcome.runs.append(
+            RunObservation(
+                realization_index=index,
+                seed_count=result.seed_count,
+                spread=result.spread,
+                achieved=result.spread >= eta,
+                seconds=result.seconds,
+                marginal_spreads=tuple(result.marginal_spreads),
+            )
+        )
+
+
+def _run_non_adaptive(algorithm, graph, eta, realizations, seed, outcome) -> None:
+    # One selection, evaluated on every world.
+    result = algorithm.run(graph, eta, seed=seed + 2)
+    for index, phi in enumerate(realizations):
+        spread = phi.spread(result.seeds)
+        outcome.runs.append(
+            RunObservation(
+                realization_index=index,
+                seed_count=result.seed_count,
+                spread=spread,
+                achieved=spread >= eta,
+                seconds=result.seconds,
+            )
+        )
+
+
+@dataclass
+class SweepResult:
+    """A full threshold sweep: ``outcomes[eta][algorithm]``."""
+
+    config: ExperimentConfig
+    eta_values: Tuple[int, ...]
+    outcomes: Dict[int, Dict[str, AlgorithmOutcome]]
+
+    def series(self, algorithm: str, metric: str) -> List[float]:
+        """Extract a per-threshold series for one algorithm.
+
+        ``metric`` is one of ``"seeds"``, ``"seconds"``, ``"spread"``,
+        ``"feasibility"`` — matching Figures 4/5, 6/7, 9, and Table 3's
+        N/A marks respectively.
+        """
+        getter = {
+            "seeds": lambda o: o.mean_seed_count,
+            "seconds": lambda o: o.mean_seconds,
+            "spread": lambda o: o.mean_spread,
+            "feasibility": lambda o: o.feasibility_rate,
+        }
+        try:
+            extract = getter[metric]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown metric {metric!r}; expected one of {sorted(getter)}"
+            ) from None
+        return [extract(self.outcomes[eta][algorithm]) for eta in self.eta_values]
+
+
+def run_sweep(config: ExperimentConfig) -> SweepResult:
+    """Run the full paper-style sweep described by ``config``."""
+    graph = config.build_graph()
+    model = config.make_model()
+    realizations = sample_shared_realizations(
+        graph, model, config.realizations, seed=config.seed + 10
+    )
+    eta_values = config.eta_values(graph.n)
+    outcomes: Dict[int, Dict[str, AlgorithmOutcome]] = {}
+    for eta in eta_values:
+        outcomes[eta] = run_eta_point(
+            graph,
+            model,
+            eta,
+            config.algorithms,
+            realizations,
+            epsilon=config.epsilon,
+            max_samples=config.max_samples,
+            seed=config.seed,
+        )
+    return SweepResult(config=config, eta_values=eta_values, outcomes=outcomes)

@@ -1,0 +1,82 @@
+"""Derived metrics for the paper's tables.
+
+Mostly Table 3: the improvement ratio of ASTI over ATEUC in seed count,
+with the N/A convention for thresholds where ATEUC's fixed seed set fails
+to reach ``eta`` on at least one sampled realization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import AlgorithmOutcome
+
+
+def improvement_ratio(baseline_count: float, improved_count: float) -> float:
+    """How many *more* seeds the baseline needs, relative to the improved.
+
+    Matches the paper's phrasing "ATEUC selects X% more nodes than ASTI":
+    ``(baseline - improved) / improved``.
+    """
+    if improved_count <= 0:
+        raise ConfigurationError(
+            f"improved seed count must be positive, got {improved_count}"
+        )
+    return (baseline_count - improved_count) / improved_count
+
+
+@dataclass(frozen=True)
+class Table3Cell:
+    """One cell of Table 3: a ratio or the N/A feasibility marker."""
+
+    eta_fraction: float
+    ratio: Optional[float]      # None encodes N/A
+    baseline_feasible: bool
+
+    def rendered(self) -> str:
+        if self.ratio is None:
+            return "N/A"
+        return f"{self.ratio * 100:.1f}%"
+
+
+def table3_cell(
+    eta_fraction: float,
+    ateuc: AlgorithmOutcome,
+    asti: AlgorithmOutcome,
+) -> Table3Cell:
+    """Build a Table 3 cell from the two algorithms' outcomes.
+
+    The paper reports N/A whenever ATEUC misses the threshold on *any* of
+    the sampled realizations ("ATEUC does not meet the threshold for some
+    realizations"), because the seed-count comparison would then be against
+    an infeasible solution.
+    """
+    if not ateuc.always_feasible:
+        return Table3Cell(eta_fraction, None, baseline_feasible=False)
+    return Table3Cell(
+        eta_fraction,
+        improvement_ratio(ateuc.mean_seed_count, asti.mean_seed_count),
+        baseline_feasible=True,
+    )
+
+
+def overshoot_fraction(spread: float, eta: int) -> float:
+    """Relative overshoot of a realized spread past the target.
+
+    Section 6.4 flags runs whose spread exceeds the requirement by more
+    than 50% as over-qualified.
+    """
+    if eta < 1:
+        raise ConfigurationError(f"eta must be >= 1, got {eta}")
+    return max(0.0, spread / eta - 1.0)
+
+
+def speedup(reference_seconds: float, candidate_seconds: float) -> float:
+    """``reference / candidate``: >1 means the candidate is faster."""
+    if candidate_seconds <= 0:
+        raise ConfigurationError(
+            f"candidate time must be positive, got {candidate_seconds}"
+        )
+    return reference_seconds / candidate_seconds

@@ -1,0 +1,116 @@
+"""ASCII line charts for figure-style series.
+
+The paper's Figures 4-10 are line charts; the report module renders their
+data as tables, and this module renders them as terminal plots so a
+benchmark run visually resembles the artifact it reproduces::
+
+    seeds
+    9.33 |                                            A
+         |
+         |                          A
+    2.00 | a A
+         +--------------------------------------------
+           0.02                     0.06         0.12
+
+Pure string manipulation, no plotting dependencies; log-scale support for
+the running-time figures whose y-axes span decades.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+
+_DEFAULT_MARKERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def ascii_line_plot(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """Render one or more series as a character plot.
+
+    Each series gets a marker letter (legend at the bottom); coinciding
+    points show the later series' marker.  ``log_y`` switches the y-axis
+    to base-10 log scale, clamping non-positive values to the smallest
+    positive one.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if width < 16 or height < 4:
+        raise ConfigurationError("plot must be at least 16x4 characters")
+    points = len(x_values)
+    for name, values in series.items():
+        if len(values) != points:
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} points, x has {points}"
+            )
+    if points == 0:
+        raise ConfigurationError("need at least one x value")
+
+    flat = [float(v) for values in series.values() for v in values]
+    positive = [v for v in flat if v > 0]
+    if log_y:
+        floor = min(positive) if positive else 1e-9
+        transform = lambda v: math.log10(max(v, floor))  # noqa: E731
+    else:
+        transform = float
+    y_min = min(transform(v) for v in flat)
+    y_max = max(transform(v) for v in flat)
+    y_span = (y_max - y_min) or 1.0
+    x_min = float(min(x_values))
+    x_span = (float(max(x_values)) - x_min) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = _DEFAULT_MARKERS[series_index % len(_DEFAULT_MARKERS)]
+        for x, y in zip(x_values, values):
+            col = int(round((float(x) - x_min) / x_span * (width - 1)))
+            row = int(round((transform(y) - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    top_label = _format_axis_value(y_max, log_y)
+    bottom_label = _format_axis_value(y_min, log_y)
+    label_width = max(len(top_label), len(bottom_label))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = (
+        " " * label_width
+        + "  "
+        + str(x_values[0])
+        + str(x_values[-1]).rjust(width - len(str(x_values[0])) - 1)
+    )
+    lines.append(x_axis)
+    legend = "   ".join(
+        f"{_DEFAULT_MARKERS[i % len(_DEFAULT_MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def _format_axis_value(value: float, log_y: bool) -> str:
+    if log_y:
+        return f"1e{value:.1f}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2f}"

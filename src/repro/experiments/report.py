@@ -1,0 +1,84 @@
+"""Plain-text rendering of experiment artifacts.
+
+The benchmarks regenerate each paper table/figure as rows and series; these
+helpers render them as aligned ASCII so ``pytest benchmarks/ -s`` output
+reads like the paper's artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned table with a header rule."""
+    materialized: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render figure-style data: one x column, one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            row.append(f"{float(series[name][i]):.{precision}f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_histogram(
+    counts: Dict[int, float],
+    title: str = "",
+    max_rows: int = 12,
+    bar_width: int = 40,
+) -> str:
+    """Log-binned bar rendering of a degree distribution (Figure 3 style)."""
+    if not counts:
+        return title or "(empty histogram)"
+    # Log-spaced bins: 1, 2, 4, 8, ... capture the power-law tail compactly.
+    bins: Dict[int, float] = {}
+    for degree, fraction in counts.items():
+        b = 1
+        while b * 2 <= max(degree, 1):
+            b *= 2
+        bins[b] = bins.get(b, 0.0) + fraction
+    rows = sorted(bins.items())[:max_rows]
+    peak = max(f for _, f in rows)
+    lines = [title] if title else []
+    for bin_start, fraction in rows:
+        bar = "#" * max(1, int(round(bar_width * fraction / peak)))
+        lines.append(f"deg~{bin_start:>6}  {fraction:8.5f}  {bar}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)

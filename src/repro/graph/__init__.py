@@ -1,0 +1,20 @@
+"""Graph substrate: CSR digraphs, builders, generators, IO, analysis."""
+
+from repro.graph.digraph import DiGraph, nodes_reachable_from
+from repro.graph.builder import GraphBuilder
+from repro.graph.residual import ResidualGraph, initial_residual, shrink_residual
+from repro.graph import analysis, generators, io, metrics, weighting
+
+__all__ = [
+    "DiGraph",
+    "GraphBuilder",
+    "ResidualGraph",
+    "initial_residual",
+    "shrink_residual",
+    "nodes_reachable_from",
+    "analysis",
+    "generators",
+    "io",
+    "metrics",
+    "weighting",
+]

@@ -1,0 +1,134 @@
+"""Structural analysis: degree statistics and connected components.
+
+These back the paper's Table 2 (dataset summary: n, m, average degree, size
+of the largest weakly connected component) and Figure 3 (log-log degree
+distribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """The row format of the paper's Table 2."""
+
+    name: str
+    n: int
+    m: int
+    average_degree: float
+    lwcc_size: int
+
+    def as_row(self) -> Tuple[str, int, int, float, int]:
+        return (self.name, self.n, self.m, self.average_degree, self.lwcc_size)
+
+
+def average_degree(graph: DiGraph) -> float:
+    """Mean out-degree (equals mean in-degree): ``m / n``."""
+    if graph.n == 0:
+        return 0.0
+    return graph.m / graph.n
+
+
+def degree_histogram(graph: DiGraph, direction: str = "total") -> Dict[int, int]:
+    """Map ``degree -> number of nodes`` for the requested direction.
+
+    ``direction`` is ``"in"``, ``"out"``, or ``"total"`` (sum of both, the
+    quantity plotted in the paper's Figure 3 for undirected datasets).
+    """
+    if direction == "in":
+        degrees = graph.in_degrees()
+    elif direction == "out":
+        degrees = graph.out_degrees()
+    elif direction == "total":
+        degrees = graph.in_degrees() + graph.out_degrees()
+    else:
+        raise ValueError(f"direction must be 'in', 'out' or 'total', got {direction!r}")
+    values, counts = np.unique(degrees, return_counts=True)
+    return {int(d): int(c) for d, c in zip(values, counts)}
+
+
+def degree_distribution(
+    graph: DiGraph, direction: str = "total"
+) -> Dict[int, float]:
+    """Fraction-of-nodes version of :func:`degree_histogram` (Figure 3)."""
+    histogram = degree_histogram(graph, direction)
+    if graph.n == 0:
+        return {}
+    return {d: c / graph.n for d, c in histogram.items()}
+
+
+def weakly_connected_components(graph: DiGraph) -> np.ndarray:
+    """Label nodes by weakly connected component via union-find.
+
+    Returns an array ``label[v]`` with labels renumbered ``0..k-1`` in first-
+    seen order.
+    """
+    parent = np.arange(graph.n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression.
+        while parent[x] != root:
+            parent[x], x = root, int(parent[x])
+        return root
+
+    src, dst, _ = graph.edge_arrays()
+    for u, v in zip(src, dst):
+        ru, rv = find(int(u)), find(int(v))
+        if ru != rv:
+            parent[rv] = ru
+
+    labels = np.empty(graph.n, dtype=np.int64)
+    remap: Dict[int, int] = {}
+    for v in range(graph.n):
+        root = find(v)
+        if root not in remap:
+            remap[root] = len(remap)
+        labels[v] = remap[root]
+    return labels
+
+
+def largest_wcc_size(graph: DiGraph) -> int:
+    """Number of nodes in the largest weakly connected component."""
+    if graph.n == 0:
+        return 0
+    labels = weakly_connected_components(graph)
+    return int(np.bincount(labels).max())
+
+
+def summarize_graph(graph: DiGraph, name: str = "graph") -> GraphSummary:
+    """Produce a Table-2-style summary row for ``graph``."""
+    return GraphSummary(
+        name=name,
+        n=graph.n,
+        m=graph.m,
+        average_degree=average_degree(graph),
+        lwcc_size=largest_wcc_size(graph),
+    )
+
+
+def power_law_exponent_estimate(graph: DiGraph, direction: str = "total") -> float:
+    """Crude MLE (Clauset et al. with x_min=1) of the degree-tail exponent.
+
+    Used only for dataset sanity checks ("is this graph power-law-ish like
+    Figure 3"), not for any algorithmic decision.
+    """
+    if direction == "in":
+        degrees = graph.in_degrees()
+    elif direction == "out":
+        degrees = graph.out_degrees()
+    else:
+        degrees = graph.in_degrees() + graph.out_degrees()
+    positive = degrees[degrees >= 1].astype(np.float64)
+    if len(positive) == 0:
+        return float("nan")
+    return 1.0 + len(positive) / np.log(positive / 0.5).sum()

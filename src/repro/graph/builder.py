@@ -1,0 +1,100 @@
+"""Incremental construction of :class:`repro.graph.digraph.DiGraph`.
+
+``DiGraph`` is immutable; :class:`GraphBuilder` is the mutable staging area
+used by the generators, the IO readers, and test fixtures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EdgeError
+from repro.graph.digraph import DiGraph
+
+
+class GraphBuilder:
+    """Accumulates edges and produces an immutable :class:`DiGraph`.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (fixed up front; node ids are ``0..n-1``).
+    deduplicate:
+        If ``True`` (default), adding the same ``(u, v)`` edge twice keeps
+        the *last* probability instead of creating a parallel edge.
+    """
+
+    def __init__(self, n: int, deduplicate: bool = True):
+        if n < 0:
+            raise EdgeError(f"node count must be non-negative, got {n}")
+        self.n = int(n)
+        self._deduplicate = deduplicate
+        self._edges: Dict[Tuple[int, int], float] = {}
+        self._parallel: list = []  # used only when deduplicate=False
+
+    def __len__(self) -> int:
+        """Number of staged edges."""
+        return len(self._edges) + len(self._parallel)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether a ``u -> v`` edge has been staged (deduplicating mode)."""
+        return (u, v) in self._edges
+
+    def add_edge(self, u: int, v: int, probability: float) -> "GraphBuilder":
+        """Stage a directed edge ``u -> v`` with the given probability."""
+        self._validate(u, v, probability)
+        if self._deduplicate:
+            self._edges[(u, v)] = float(probability)
+        else:
+            self._parallel.append((u, v, float(probability)))
+        return self
+
+    def add_undirected_edge(self, u: int, v: int, probability: float) -> "GraphBuilder":
+        """Stage both directions, as the paper does for undirected datasets.
+
+        "an undirected edge is transformed into two directed edges"
+        (Section 6.1).
+        """
+        self.add_edge(u, v, probability)
+        self.add_edge(v, u, probability)
+        return self
+
+    def add_edges(self, edges: Iterable[Tuple[int, int, float]]) -> "GraphBuilder":
+        """Stage many ``(u, v, p)`` triples at once."""
+        for u, v, p in edges:
+            self.add_edge(u, v, p)
+        return self
+
+    def add_path(self, nodes: Iterable[int], probability: float) -> "GraphBuilder":
+        """Stage a directed path through ``nodes`` with uniform probability."""
+        prev: Optional[int] = None
+        for node in nodes:
+            if prev is not None:
+                self.add_edge(prev, node, probability)
+            prev = node
+        return self
+
+    def build(self) -> DiGraph:
+        """Materialize the staged edges into an immutable :class:`DiGraph`."""
+        if self._deduplicate:
+            items = self._edges.items()
+            src = np.fromiter((uv[0] for uv, _ in items), dtype=np.int64, count=len(self._edges))
+            dst = np.fromiter((uv[1] for uv, _ in items), dtype=np.int64, count=len(self._edges))
+            prob = np.fromiter((p for _, p in items), dtype=np.float64, count=len(self._edges))
+        else:
+            src = np.fromiter((e[0] for e in self._parallel), dtype=np.int64, count=len(self._parallel))
+            dst = np.fromiter((e[1] for e in self._parallel), dtype=np.int64, count=len(self._parallel))
+            prob = np.fromiter((e[2] for e in self._parallel), dtype=np.float64, count=len(self._parallel))
+        return DiGraph.from_arrays(self.n, src, dst, prob)
+
+    def _validate(self, u: int, v: int, probability: float) -> None:
+        if not 0 <= u < self.n:
+            raise EdgeError(f"source {u} out of range for n={self.n}")
+        if not 0 <= v < self.n:
+            raise EdgeError(f"target {v} out of range for n={self.n}")
+        if u == v:
+            raise EdgeError(f"self-loop {u} -> {v} is not allowed")
+        if not 0.0 < probability <= 1.0:
+            raise EdgeError(f"probability must be in (0, 1], got {probability}")

@@ -1,0 +1,383 @@
+"""Immutable directed probabilistic graph in compressed-sparse-row form.
+
+The whole library runs on :class:`DiGraph`: a node set ``{0, ..., n-1}`` and
+``m`` directed edges, each with a propagation probability ``p(e) in (0, 1]``.
+Both adjacency directions are stored as CSR arrays because the two halves of
+the system walk the graph in opposite directions:
+
+* forward simulation of a cascade follows *outgoing* edges,
+* RR / mRR sampling performs a reverse BFS over *incoming* edges.
+
+The arrays are NumPy vectors so the BFS inner loops can expand a whole
+frontier with vectorized slicing instead of per-edge Python calls — this is
+what makes a pure-Python reproduction of an RR-set-based system feasible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EdgeError, GraphError, NodeNotFoundError
+
+Edge = Tuple[int, int, float]
+
+
+class DiGraph:
+    """A directed graph with per-edge propagation probabilities.
+
+    Instances are immutable: construct them with :class:`repro.graph.builder.
+    GraphBuilder`, the generators in :mod:`repro.graph.generators`, or
+    directly from edge arrays via :meth:`from_edges`.
+
+    Attributes
+    ----------
+    n:
+        Number of nodes; node identifiers are ``0..n-1``.
+    m:
+        Number of directed edges.
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "_out_indptr",
+        "_out_targets",
+        "_out_probs",
+        "_in_indptr",
+        "_in_sources",
+        "_in_probs",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        out_indptr: np.ndarray,
+        out_targets: np.ndarray,
+        out_probs: np.ndarray,
+        in_indptr: np.ndarray,
+        in_sources: np.ndarray,
+        in_probs: np.ndarray,
+    ):
+        """Low-level constructor from pre-built CSR arrays.
+
+        Most callers should use :meth:`from_edges`; this constructor trusts
+        its arguments apart from cheap shape checks.
+        """
+        if n < 0:
+            raise GraphError(f"node count must be non-negative, got {n}")
+        if len(out_indptr) != n + 1 or len(in_indptr) != n + 1:
+            raise GraphError("indptr arrays must have length n + 1")
+        if len(out_targets) != len(out_probs):
+            raise GraphError("out_targets and out_probs must have equal length")
+        if len(in_sources) != len(in_probs):
+            raise GraphError("in_sources and in_probs must have equal length")
+        if len(out_targets) != len(in_sources):
+            raise GraphError("forward and reverse CSR must describe the same edges")
+        self.n = int(n)
+        self.m = int(len(out_targets))
+        self._out_indptr = out_indptr
+        self._out_targets = out_targets
+        self._out_probs = out_probs
+        self._in_indptr = in_indptr
+        self._in_sources = in_sources
+        self._in_probs = in_probs
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Edge]) -> "DiGraph":
+        """Build a graph from ``(source, target, probability)`` triples.
+
+        Self-loops and out-of-range endpoints raise :class:`EdgeError`;
+        parallel edges are allowed (the diffusion models treat them as
+        independent activation chances), though the stock generators never
+        produce them.
+        """
+        edge_list = list(edges)
+        if edge_list:
+            src = np.fromiter((e[0] for e in edge_list), dtype=np.int64)
+            dst = np.fromiter((e[1] for e in edge_list), dtype=np.int64)
+            prob = np.fromiter((e[2] for e in edge_list), dtype=np.float64)
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+            prob = np.empty(0, dtype=np.float64)
+        return cls.from_arrays(n, src, dst, prob)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        n: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        probabilities: np.ndarray,
+    ) -> "DiGraph":
+        """Build a graph from parallel NumPy edge arrays (vectorized path)."""
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        if not (len(sources) == len(targets) == len(probabilities)):
+            raise EdgeError("edge arrays must have equal length")
+        if len(sources):
+            if sources.min() < 0 or sources.max() >= n:
+                raise EdgeError("edge source out of range")
+            if targets.min() < 0 or targets.max() >= n:
+                raise EdgeError("edge target out of range")
+            if np.any(sources == targets):
+                raise EdgeError("self-loops are not allowed")
+            if np.any(probabilities <= 0.0) or np.any(probabilities > 1.0):
+                raise EdgeError("edge probabilities must lie in (0, 1]")
+
+        out_indptr, out_targets, out_probs = _build_csr(n, sources, targets, probabilities)
+        in_indptr, in_sources, in_probs = _build_csr(n, targets, sources, probabilities)
+        return cls(
+            n,
+            out_indptr,
+            out_targets,
+            out_probs,
+            in_indptr,
+            in_sources,
+            in_probs,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    def _check_node(self, v: int) -> None:
+        if not 0 <= v < self.n:
+            raise NodeNotFoundError(v, self.n)
+
+    def out_degree(self, v: int) -> int:
+        """Number of outgoing edges of ``v``."""
+        self._check_node(v)
+        return int(self._out_indptr[v + 1] - self._out_indptr[v])
+
+    def in_degree(self, v: int) -> int:
+        """Number of incoming edges of ``v``."""
+        self._check_node(v)
+        return int(self._in_indptr[v + 1] - self._in_indptr[v])
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of out-degrees for all nodes."""
+        return np.diff(self._out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of in-degrees for all nodes."""
+        return np.diff(self._in_indptr)
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Targets of edges leaving ``v`` (a read-only CSR slice)."""
+        self._check_node(v)
+        return self._out_targets[self._out_indptr[v] : self._out_indptr[v + 1]]
+
+    def out_probabilities(self, v: int) -> np.ndarray:
+        """Probabilities aligned with :meth:`out_neighbors`."""
+        self._check_node(v)
+        return self._out_probs[self._out_indptr[v] : self._out_indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """Sources of edges entering ``v`` (a read-only CSR slice)."""
+        self._check_node(v)
+        return self._in_sources[self._in_indptr[v] : self._in_indptr[v + 1]]
+
+    def in_probabilities(self, v: int) -> np.ndarray:
+        """Probabilities aligned with :meth:`in_neighbors`."""
+        self._check_node(v)
+        return self._in_probs[self._in_indptr[v] : self._in_indptr[v + 1]]
+
+    # Raw CSR access for the vectorized samplers.  These return the internal
+    # arrays without copying; callers must treat them as read-only.
+
+    @property
+    def out_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(indptr, targets, probabilities)`` of the forward adjacency."""
+        return self._out_indptr, self._out_targets, self._out_probs
+
+    @property
+    def in_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(indptr, sources, probabilities)`` of the reverse adjacency."""
+        return self._in_indptr, self._in_sources, self._in_probs
+
+    # ------------------------------------------------------------------
+    # Edge iteration / export
+    # ------------------------------------------------------------------
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over ``(source, target, probability)`` triples."""
+        for u in range(self.n):
+            start, end = self._out_indptr[u], self._out_indptr[u + 1]
+            for idx in range(start, end):
+                yield u, int(self._out_targets[idx]), float(self._out_probs[idx])
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Export edges as ``(sources, targets, probabilities)`` arrays.
+
+        Edges come out grouped by source in ascending order, which is the
+        canonical ordering used by :meth:`__eq__` and the IO round-trip.
+        """
+        sources = np.repeat(np.arange(self.n, dtype=np.int64), self.out_degrees())
+        return sources, self._out_targets.copy(), self._out_probs.copy()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether at least one directed edge ``u -> v`` exists."""
+        self._check_node(v)
+        return bool(np.any(self.out_neighbors(u) == v))
+
+    def edge_probability(self, u: int, v: int) -> float:
+        """Probability of edge ``u -> v``; raises if absent.
+
+        With parallel edges, returns the probability of the first stored one.
+        """
+        neighbors = self.out_neighbors(u)
+        matches = np.flatnonzero(neighbors == v)
+        if len(matches) == 0:
+            raise EdgeError(f"edge {u} -> {v} does not exist")
+        return float(self.out_probabilities(u)[matches[0]])
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def reverse(self) -> "DiGraph":
+        """Return the graph with every edge direction flipped."""
+        return DiGraph(
+            self.n,
+            self._in_indptr,
+            self._in_sources,
+            self._in_probs,
+            self._out_indptr,
+            self._out_targets,
+            self._out_probs,
+        )
+
+    def with_probabilities(self, probabilities_by_edge) -> "DiGraph":
+        """Return a copy whose probabilities are recomputed per edge.
+
+        ``probabilities_by_edge`` is a callable ``(u, v) -> p`` evaluated for
+        every edge; used by the weighting schemes.
+        """
+        src, dst, _ = self.edge_arrays()
+        probs = np.fromiter(
+            (probabilities_by_edge(int(u), int(v)) for u, v in zip(src, dst)),
+            dtype=np.float64,
+            count=len(src),
+        )
+        return DiGraph.from_arrays(self.n, src, dst, probs)
+
+    def induced_subgraph(self, keep: np.ndarray) -> Tuple["DiGraph", np.ndarray]:
+        """Induce the subgraph on the nodes flagged in boolean mask ``keep``.
+
+        Returns ``(subgraph, kept_node_ids)``: the subgraph renumbers the
+        surviving nodes ``0..n'-1`` in ascending original order, and
+        ``kept_node_ids[i]`` maps new id ``i`` back to the original id.  This
+        is the primitive behind the residual graphs ``G_i`` of the paper.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        if keep.shape != (self.n,):
+            raise GraphError(f"mask must have shape ({self.n},), got {keep.shape}")
+        kept_ids = np.flatnonzero(keep)
+        new_id = np.full(self.n, -1, dtype=np.int64)
+        new_id[kept_ids] = np.arange(len(kept_ids), dtype=np.int64)
+
+        src, dst, probs = self.edge_arrays()
+        mask = keep[src] & keep[dst]
+        sub = DiGraph.from_arrays(
+            len(kept_ids), new_id[src[mask]], new_id[dst[mask]], probs[mask]
+        )
+        return sub, kept_ids
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        if self.n != other.n or self.m != other.m:
+            return False
+        return (
+            np.array_equal(self._out_indptr, other._out_indptr)
+            and np.array_equal(self._out_targets, other._out_targets)
+            and np.allclose(self._out_probs, other._out_probs)
+        )
+
+    def __hash__(self) -> int:  # graphs are content-addressed rarely; cheap hash
+        return hash((self.n, self.m))
+
+    def __repr__(self) -> str:
+        return f"DiGraph(n={self.n}, m={self.m})"
+
+
+def _build_csr(
+    n: int,
+    group_by: np.ndarray,
+    values: np.ndarray,
+    probs: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group ``(values, probs)`` by ``group_by`` into CSR arrays.
+
+    Within each group the stored order follows a stable sort of ``group_by``,
+    i.e. original insertion order, which keeps round-trips deterministic.
+    """
+    counts = np.bincount(group_by, minlength=n) if len(group_by) else np.zeros(n, dtype=np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    order = np.argsort(group_by, kind="stable")
+    return indptr, values[order].astype(np.int64), probs[order].astype(np.float64)
+
+
+def gather_csr_rows(indptr: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+    """Positions of all CSR entries belonging to the rows in ``nodes``.
+
+    Given a CSR ``indptr`` and an array of row ids, returns an int64 array of
+    positions such that ``values[positions]`` concatenates the row slices in
+    order.  This is the frontier-expansion primitive shared by forward
+    simulation and reverse (m)RR sampling: it replaces a Python loop over
+    frontier nodes with three vectorized NumPy operations.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    starts = indptr[nodes]
+    sizes = indptr[nodes + 1] - starts
+    total = int(sizes.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    cumulative_before = np.cumsum(sizes) - sizes
+    return np.repeat(starts - cumulative_before, sizes) + np.arange(total, dtype=np.int64)
+
+
+def nodes_reachable_from(
+    graph: DiGraph, sources: Sequence[int]
+) -> np.ndarray:
+    """Boolean mask of nodes reachable from ``sources`` following all edges.
+
+    This ignores probabilities (treats every edge as present); the diffusion
+    package provides the probabilistic counterparts.  Exposed here because
+    analysis code (LWCC, feasibility checks) needs plain reachability.
+    """
+    indptr, targets, _ = graph.out_csr
+    visited = np.zeros(graph.n, dtype=bool)
+    frontier: List[int] = []
+    for s in sources:
+        if not 0 <= s < graph.n:
+            raise NodeNotFoundError(s, graph.n)
+        if not visited[s]:
+            visited[s] = True
+            frontier.append(s)
+    while frontier:
+        next_frontier: List[int] = []
+        for v in frontier:
+            neighbors = targets[indptr[v] : indptr[v + 1]]
+            fresh = neighbors[~visited[neighbors]]
+            if len(fresh):
+                visited[fresh] = True
+                next_frontier.extend(int(x) for x in fresh)
+        frontier = next_frontier
+    return visited

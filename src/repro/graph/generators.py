@@ -1,0 +1,354 @@
+"""Synthetic graph generators.
+
+Two roles:
+
+1. Small deterministic structures (paths, stars, cycles, complete graphs,
+   layered DAGs) used heavily by the test suite, where exact spreads can be
+   computed by hand.
+2. Random social-network-like graphs (Erdős–Rényi, preferential attachment,
+   Chung–Lu power law) that stand in for the paper's SNAP datasets.  The
+   dataset registry in :mod:`repro.experiments.datasets` builds its scaled
+   NetHEPT/Epinions/Youtube/LiveJournal analogues on top of these.
+
+All generators return *unweighted* topology with a placeholder probability of
+1.0 on each edge; callers then apply a scheme from
+:mod:`repro.graph.weighting` (the experiments use weighted cascade).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import RandomSource, as_generator
+
+_PLACEHOLDER = 1.0
+
+
+# ----------------------------------------------------------------------
+# Deterministic structures (test workhorses)
+# ----------------------------------------------------------------------
+
+def path_graph(n: int, probability: float = _PLACEHOLDER) -> DiGraph:
+    """Directed path ``0 -> 1 -> ... -> n-1``."""
+    _check_n(n)
+    builder = GraphBuilder(n)
+    builder.add_path(range(n), probability)
+    return builder.build()
+
+
+def cycle_graph(n: int, probability: float = _PLACEHOLDER) -> DiGraph:
+    """Directed cycle over ``n >= 2`` nodes."""
+    _check_n(n, minimum=2)
+    builder = GraphBuilder(n)
+    builder.add_path(range(n), probability)
+    builder.add_edge(n - 1, 0, probability)
+    return builder.build()
+
+
+def star_graph(
+    n: int, probability: float = _PLACEHOLDER, outward: bool = True
+) -> DiGraph:
+    """Star with hub ``0``; ``outward=True`` points hub -> leaves."""
+    _check_n(n, minimum=1)
+    builder = GraphBuilder(n)
+    for leaf in range(1, n):
+        if outward:
+            builder.add_edge(0, leaf, probability)
+        else:
+            builder.add_edge(leaf, 0, probability)
+    return builder.build()
+
+
+def complete_graph(n: int, probability: float = _PLACEHOLDER) -> DiGraph:
+    """All ``n * (n-1)`` directed edges."""
+    _check_n(n)
+    builder = GraphBuilder(n)
+    for u in range(n):
+        for v in range(n):
+            if u != v:
+                builder.add_edge(u, v, probability)
+    return builder.build()
+
+
+def layered_dag(
+    layers: int,
+    width: int,
+    probability: float = _PLACEHOLDER,
+) -> DiGraph:
+    """Complete bipartite connections between consecutive layers.
+
+    Node ids are assigned layer-major: layer ``i`` holds nodes
+    ``i*width .. (i+1)*width - 1``.  Useful for testing truncation: a seed in
+    layer 0 can reach exactly ``layers * width`` nodes when all edges fire.
+    """
+    _check_n(layers, minimum=1)
+    _check_n(width, minimum=1)
+    n = layers * width
+    builder = GraphBuilder(n)
+    for layer in range(layers - 1):
+        for a in range(width):
+            for b in range(width):
+                builder.add_edge(layer * width + a, (layer + 1) * width + b, probability)
+    return builder.build()
+
+
+def paper_example_graph() -> DiGraph:
+    """The four-node graph of the paper's Example 2.3 (Figure 2).
+
+    Edges: ``v1 -> v2`` (p=0.5), ``v1 -> v3`` (p=0.5), ``v2 -> v4`` (p=1),
+    ``v3 -> v4`` (p=1), with node ids ``v1=0, v2=1, v3=2, v4=3``.  At
+    ``eta = 2`` the vanilla expected spread prefers ``v1`` while the truncated
+    expected spread prefers ``v2``/``v3`` — the motivating example for the
+    whole truncated-objective design.
+    """
+    builder = GraphBuilder(4)
+    builder.add_edge(0, 1, 0.5)
+    builder.add_edge(0, 2, 0.5)
+    builder.add_edge(1, 3, 1.0)
+    builder.add_edge(2, 3, 1.0)
+    return builder.build()
+
+
+def figure1_graph() -> DiGraph:
+    """The six-node illustration graph from the paper's Figure 1(a).
+
+    Node ids ``v1..v6 -> 0..5``; probabilities as printed in the figure.
+    """
+    builder = GraphBuilder(6)
+    builder.add_edge(0, 1, 0.1)   # v1 -> v2
+    builder.add_edge(0, 3, 0.9)   # v1 -> v4
+    builder.add_edge(0, 5, 0.5)   # v1 -> v6 (upper 0.5 edge)
+    builder.add_edge(3, 5, 0.7)   # v4 -> v6
+    builder.add_edge(2, 3, 0.6)   # v3 -> v4
+    builder.add_edge(2, 4, 0.4)   # v3 -> v5
+    builder.add_edge(1, 2, 0.3)   # v2 -> v3
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Random graphs
+# ----------------------------------------------------------------------
+
+def erdos_renyi(
+    n: int,
+    expected_degree: float,
+    seed: RandomSource = None,
+    directed: bool = True,
+) -> DiGraph:
+    """G(n, p) random digraph with expected out-degree ``expected_degree``.
+
+    Sampled by drawing ``Binomial(n*(n-1), p)`` edge slots without
+    materializing the full adjacency matrix, so it scales to the tens of
+    thousands of nodes the experiments use.
+    """
+    _check_n(n, minimum=2)
+    if expected_degree <= 0 or expected_degree > n - 1:
+        raise ConfigurationError(
+            f"expected_degree must be in (0, {n - 1}], got {expected_degree}"
+        )
+    rng = as_generator(seed)
+    p = expected_degree / (n - 1)
+    total_slots = n * (n - 1)
+    count = rng.binomial(total_slots, p)
+    # Sample edge slot indices without replacement; decode to (u, v) pairs
+    # skipping the diagonal.
+    slots = rng.choice(total_slots, size=count, replace=False)
+    u = slots // (n - 1)
+    r = slots % (n - 1)
+    v = np.where(r >= u, r + 1, r)
+    if not directed:
+        # Keep one orientation per unordered pair, then mirror.
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        pairs = np.unique(np.stack([lo, hi], axis=1), axis=0)
+        u = np.concatenate([pairs[:, 0], pairs[:, 1]])
+        v = np.concatenate([pairs[:, 1], pairs[:, 0]])
+    probs = np.full(len(u), _PLACEHOLDER, dtype=np.float64)
+    return DiGraph.from_arrays(n, u.astype(np.int64), v.astype(np.int64), probs)
+
+
+def preferential_attachment(
+    n: int,
+    edges_per_node: int,
+    seed: RandomSource = None,
+    directed: bool = True,
+) -> DiGraph:
+    """Barabási–Albert-style power-law graph.
+
+    Nodes arrive one at a time and attach ``edges_per_node`` edges to
+    existing nodes chosen proportionally to their current degree (plus one,
+    so isolated nodes remain reachable).  ``directed=False`` mirrors every
+    edge, matching how the paper treats undirected datasets.
+
+    The resulting in-degree distribution has the heavy power-law tail seen in
+    the paper's Figure 3.
+    """
+    _check_n(n, minimum=2)
+    if edges_per_node < 1:
+        raise ConfigurationError(f"edges_per_node must be >= 1, got {edges_per_node}")
+    rng = as_generator(seed)
+    # Repeated-node list implements degree-proportional sampling in O(1).
+    attachment_pool = [0]
+    sources = []
+    targets = []
+    for new_node in range(1, n):
+        k = min(edges_per_node, new_node)
+        chosen = set()
+        # Mix degree-proportional picks with occasional uniform picks so
+        # early nodes do not absorb literally every edge.
+        while len(chosen) < k:
+            if rng.random() < 0.9:
+                candidate = attachment_pool[rng.integers(len(attachment_pool))]
+            else:
+                candidate = int(rng.integers(new_node))
+            chosen.add(candidate)
+        for old_node in chosen:
+            sources.append(new_node)
+            targets.append(old_node)
+            attachment_pool.append(old_node)
+        attachment_pool.append(new_node)
+    src = np.asarray(sources, dtype=np.int64)
+    dst = np.asarray(targets, dtype=np.int64)
+    if not directed:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    probs = np.full(len(src), _PLACEHOLDER, dtype=np.float64)
+    return DiGraph.from_arrays(n, src, dst, probs)
+
+
+def chung_lu_power_law(
+    n: int,
+    average_degree: float,
+    exponent: float = 2.5,
+    seed: RandomSource = None,
+    directed: bool = True,
+    max_weight_fraction: float = 0.05,
+) -> DiGraph:
+    """Chung–Lu random graph with power-law expected degrees.
+
+    Each node gets an expected degree ``w_i ~ PowerLaw(exponent)`` rescaled
+    to the requested average; edge ``(u, v)`` appears with probability
+    ``w_u * w_v / sum(w)`` (clipped at 1).  Sampled with the Miller–Hagberg
+    style per-source geometric skipping, giving ``O(n + m)`` time.
+
+    ``max_weight_fraction`` caps individual expected degrees at that fraction
+    of ``n`` to avoid a single super-hub swallowing the graph.
+    """
+    _check_n(n, minimum=2)
+    if average_degree <= 0:
+        raise ConfigurationError(f"average_degree must be positive, got {average_degree}")
+    if exponent <= 1.0:
+        raise ConfigurationError(f"exponent must exceed 1, got {exponent}")
+    rng = as_generator(seed)
+    # Pareto-style weights: w ~ (1 - U)^(-1/(exponent-1)).
+    raw = (1.0 - rng.random(n)) ** (-1.0 / (exponent - 1.0))
+    raw = np.minimum(raw, max_weight_fraction * n)
+    weights = raw * (average_degree * n / raw.sum())
+    total = weights.sum()
+
+    # Sort descending so the skipping loop can terminate early per source.
+    order = np.argsort(-weights)
+    sorted_w = weights[order]
+
+    sources = []
+    targets = []
+    for i in range(n):
+        wi = sorted_w[i]
+        if wi <= 0:
+            break
+        j = 0
+        p = min(1.0, wi * sorted_w[j] / total) if n else 0.0
+        while j < n and p > 0:
+            if p < 1.0:
+                # Geometric skip to the next selected partner.
+                skip = int(np.floor(np.log(rng.random()) / np.log(1.0 - p)))
+                j += skip
+            if j >= n:
+                break
+            q = min(1.0, wi * sorted_w[j] / total)
+            if rng.random() < q / p and i != j:
+                sources.append(order[i])
+                targets.append(order[j])
+            p = q
+            j += 1
+    src = np.asarray(sources, dtype=np.int64)
+    dst = np.asarray(targets, dtype=np.int64)
+    if not directed and len(src):
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        # Mirroring can duplicate a pair sampled in both orientations.
+        pairs = np.unique(np.stack([src, dst], axis=1), axis=0)
+        src, dst = pairs[:, 0], pairs[:, 1]
+    probs = np.full(len(src), _PLACEHOLDER, dtype=np.float64)
+    return DiGraph.from_arrays(n, src, dst, probs)
+
+
+def attach_fragments(
+    core: DiGraph,
+    total_n: int,
+    seed: RandomSource = None,
+    directed: bool = True,
+    min_size: int = 2,
+    max_size: int = 4,
+) -> DiGraph:
+    """Pad a core graph with small disconnected components.
+
+    Real collaboration graphs are fragmented — the paper's NetHEPT has only
+    45% of its nodes inside the largest weakly connected component — which
+    matters for seed minimization: nodes outside the core can only be
+    reached by seeding their own component.  This helper keeps the core's
+    node ids ``0..core.n-1`` and fills ids up to ``total_n - 1`` with random
+    chains of ``min_size..max_size`` nodes (never isolated nodes, matching
+    the datasets' "no isolated node" property).
+    """
+    _check_n(total_n, minimum=core.n)
+    if not 2 <= min_size <= max_size:
+        raise ConfigurationError(
+            f"need 2 <= min_size <= max_size, got {min_size}..{max_size}"
+        )
+    if total_n == core.n:
+        return core
+    rng = as_generator(seed)
+    src, dst, probs = core.edge_arrays()
+    extra_src = []
+    extra_dst = []
+    next_id = core.n
+    while next_id < total_n:
+        size = int(rng.integers(min_size, max_size + 1))
+        size = min(size, total_n - next_id)
+        if size < 2:
+            # A single leftover node attaches to the previous fragment so it
+            # is not isolated.
+            extra_src.append(next_id - 1)
+            extra_dst.append(next_id)
+            if not directed:
+                extra_src.append(next_id)
+                extra_dst.append(next_id - 1)
+            next_id += 1
+            continue
+        for offset in range(size - 1):
+            extra_src.append(next_id + offset)
+            extra_dst.append(next_id + offset + 1)
+            if not directed:
+                extra_src.append(next_id + offset + 1)
+                extra_dst.append(next_id + offset)
+        if directed:
+            # Close the chain into a cycle so every node has indegree >= 1
+            # (the weighted cascade divides by indegree).
+            extra_src.append(next_id + size - 1)
+            extra_dst.append(next_id)
+        next_id += size
+    all_src = np.concatenate([src, np.asarray(extra_src, dtype=np.int64)])
+    all_dst = np.concatenate([dst, np.asarray(extra_dst, dtype=np.int64)])
+    all_probs = np.concatenate(
+        [probs, np.full(len(extra_src), _PLACEHOLDER, dtype=np.float64)]
+    )
+    return DiGraph.from_arrays(total_n, all_src, all_dst, all_probs)
+
+
+def _check_n(n: int, minimum: int = 1) -> None:
+    if n < minimum:
+        raise ConfigurationError(f"need at least {minimum} nodes, got {n}")

@@ -1,0 +1,115 @@
+"""Residual graphs ``G_i`` for the adaptive rounds.
+
+After round ``i-1`` the adaptive policy has observed a set of activated
+nodes; the next round operates on the subgraph induced by the still-inactive
+nodes (paper Section 2.3).  :class:`ResidualGraph` bundles that induced
+subgraph with the id mapping back to the original graph and the shortfall
+``eta_i = eta - (n - n_i)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class ResidualGraph:
+    """The induced subgraph on inactive nodes, with bookkeeping.
+
+    Attributes
+    ----------
+    graph:
+        Induced :class:`DiGraph` with nodes renumbered ``0..n_i - 1``.
+    original_ids:
+        ``original_ids[local]`` maps a residual-node id back to the id in
+        the round-1 graph.
+    shortfall:
+        ``eta_i``: how many more activations the policy still needs.
+    round_index:
+        1-based round counter (``G_1`` is the input graph).
+    """
+
+    graph: DiGraph
+    original_ids: np.ndarray
+    shortfall: int
+    round_index: int
+
+    @property
+    def n(self) -> int:
+        """Number of inactive nodes (``n_i``)."""
+        return self.graph.n
+
+    @property
+    def m(self) -> int:
+        """Number of surviving edges (``m_i``)."""
+        return self.graph.m
+
+    def to_original(self, local_nodes: Iterable[int]) -> np.ndarray:
+        """Map residual-local node ids back to original ids.
+
+        Raises :class:`GraphError` on ids outside the residual range, so a
+        misbehaving selector fails loudly instead of corrupting state.
+        """
+        idx = np.fromiter((int(v) for v in local_nodes), dtype=np.int64)
+        if len(idx) and (idx.min() < 0 or idx.max() >= len(self.original_ids)):
+            raise GraphError(
+                f"local node ids {idx.tolist()} out of residual range "
+                f"[0, {len(self.original_ids)})"
+            )
+        return self.original_ids[idx]
+
+    def local_of(self, original_node: int) -> int:
+        """Map an original node id to its residual-local id.
+
+        Raises :class:`GraphError` if the node is no longer inactive.
+        """
+        pos = np.searchsorted(self.original_ids, original_node)
+        if pos >= len(self.original_ids) or self.original_ids[pos] != original_node:
+            raise GraphError(f"node {original_node} is not in the residual graph")
+        return int(pos)
+
+
+def initial_residual(graph: DiGraph, eta: int) -> ResidualGraph:
+    """``G_1 = G`` with shortfall ``eta`` and identity id mapping."""
+    if not 1 <= eta <= graph.n:
+        raise GraphError(f"eta must be in [1, n={graph.n}], got {eta}")
+    return ResidualGraph(
+        graph=graph,
+        original_ids=np.arange(graph.n, dtype=np.int64),
+        shortfall=eta,
+        round_index=1,
+    )
+
+
+def shrink_residual(
+    current: ResidualGraph,
+    newly_activated_local: Sequence[int],
+) -> ResidualGraph:
+    """Remove newly-activated nodes and advance to round ``i + 1``.
+
+    ``newly_activated_local`` holds residual-*local* node ids (the output of
+    observing a seed's spread inside ``current.graph``).  The shortfall
+    decreases by the number of removals and is floored at 0.
+    """
+    activated = np.zeros(current.n, dtype=bool)
+    for v in newly_activated_local:
+        if not 0 <= v < current.n:
+            raise GraphError(f"activated node {v} out of residual range {current.n}")
+        activated[v] = True
+    removed = int(activated.sum())
+    if removed == 0:
+        raise GraphError("a round must activate at least the selected seed")
+    keep = ~activated
+    subgraph, kept_local = current.graph.induced_subgraph(keep)
+    return ResidualGraph(
+        graph=subgraph,
+        original_ids=current.original_ids[kept_local],
+        shortfall=max(0, current.shortfall - removed),
+        round_index=current.round_index + 1,
+    )

@@ -1,0 +1,123 @@
+"""Edge-probability assignment schemes.
+
+The paper's experiments use the *weighted cascade* convention
+``p(u, v) = 1 / indeg(v)`` (Section 6.1).  We also provide the other two
+conventions common in the influence-maximization literature (constant and
+trivalency) plus a uniform-random scheme, so downstream users can stress
+their own settings.
+
+Each scheme maps an existing :class:`DiGraph` to a new one with the same
+topology and fresh probabilities.  For the linear threshold model the
+weighted cascade scheme additionally guarantees the LT validity constraint
+that incoming probabilities sum to at most 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import RandomSource, as_generator
+
+
+def weighted_cascade(graph: DiGraph) -> DiGraph:
+    """Assign ``p(u, v) = 1 / indeg(v)`` to every edge.
+
+    This is the paper's setting.  Incoming probabilities at each node sum to
+    exactly 1, which also makes the graph a valid linear-threshold instance.
+    """
+    src, dst, _ = graph.edge_arrays()
+    indeg = graph.in_degrees().astype(np.float64)
+    # Every edge target has indegree >= 1 by construction.
+    probs = 1.0 / indeg[dst]
+    return DiGraph.from_arrays(graph.n, src, dst, probs)
+
+
+def scaled_cascade(graph: DiGraph, gamma: float) -> DiGraph:
+    """Assign ``p(u, v) = gamma / indeg(v)`` to every edge.
+
+    A damped weighted cascade: ``gamma = 1`` recovers the paper's setting,
+    while ``gamma < 1`` lowers the percolation level uniformly.  The dataset
+    registry uses this to calibrate the *relative* per-seed spread of the
+    scaled-down synthetic graphs to the paper's large graphs (see DESIGN.md):
+    plain weighted cascade on a small dense core is super-critical, which
+    would collapse the seed-count figures to a handful of seeds.
+
+    Still a valid LT weighting (incoming sums are ``gamma <= 1``).
+    """
+    if not 0.0 < gamma <= 1.0:
+        raise ConfigurationError(f"gamma must be in (0, 1], got {gamma}")
+    src, dst, _ = graph.edge_arrays()
+    indeg = graph.in_degrees().astype(np.float64)
+    probs = gamma / indeg[dst]
+    return DiGraph.from_arrays(graph.n, src, dst, probs)
+
+
+def constant(graph: DiGraph, probability: float) -> DiGraph:
+    """Assign the same probability to every edge."""
+    if not 0.0 < probability <= 1.0:
+        raise ConfigurationError(f"probability must be in (0, 1], got {probability}")
+    src, dst, _ = graph.edge_arrays()
+    probs = np.full(len(src), probability, dtype=np.float64)
+    return DiGraph.from_arrays(graph.n, src, dst, probs)
+
+
+def trivalency(
+    graph: DiGraph,
+    choices: Sequence[float] = (0.1, 0.01, 0.001),
+    seed: RandomSource = None,
+) -> DiGraph:
+    """Assign each edge a probability drawn uniformly from ``choices``.
+
+    The classic TRIVALENCY model of Chen et al.; the default triple matches
+    the literature's {0.1, 0.01, 0.001}.
+    """
+    if not choices:
+        raise ConfigurationError("choices must be non-empty")
+    for c in choices:
+        if not 0.0 < c <= 1.0:
+            raise ConfigurationError(f"every choice must be in (0, 1], got {c}")
+    rng = as_generator(seed)
+    src, dst, _ = graph.edge_arrays()
+    probs = rng.choice(np.asarray(choices, dtype=np.float64), size=len(src))
+    return DiGraph.from_arrays(graph.n, src, dst, probs)
+
+
+def uniform_random(
+    graph: DiGraph,
+    low: float = 0.01,
+    high: float = 0.1,
+    seed: RandomSource = None,
+) -> DiGraph:
+    """Assign each edge an independent probability ``Uniform(low, high]``."""
+    if not 0.0 < low <= high <= 1.0:
+        raise ConfigurationError(
+            f"need 0 < low <= high <= 1, got low={low}, high={high}"
+        )
+    rng = as_generator(seed)
+    src, dst, _ = graph.edge_arrays()
+    probs = rng.uniform(low, high, size=len(src))
+    # uniform() can return exactly `low` but never `high`; both are fine and
+    # strictly positive, so no clipping is needed.
+    return DiGraph.from_arrays(graph.n, src, dst, probs)
+
+
+def normalize_for_lt(graph: DiGraph) -> DiGraph:
+    """Scale incoming probabilities so they sum to at most 1 per node.
+
+    The LT model requires ``sum_u p(u, v) <= 1`` for every ``v``.  Nodes
+    already satisfying the constraint are untouched; others have their
+    incoming probabilities divided by the (violating) sum.
+    """
+    src, dst, probs = graph.edge_arrays()
+    if len(src) == 0:
+        return graph
+    incoming_sum = np.zeros(graph.n, dtype=np.float64)
+    np.add.at(incoming_sum, dst, probs)
+    scale = np.ones(graph.n, dtype=np.float64)
+    violating = incoming_sum > 1.0
+    scale[violating] = 1.0 / incoming_sum[violating]
+    return DiGraph.from_arrays(graph.n, src, dst, probs * scale[dst])

@@ -1,0 +1,176 @@
+"""Coverage bookkeeping over a pool of (m)RR sets.
+
+Both TRIM's single-node selection (``argmax_v Lambda_R(v)``) and TRIM-B's
+greedy maximum coverage operate on the same structure: a list of node sets
+plus a per-node count of how many sets each node appears in.
+
+:class:`CoverageIndex` maintains the counts incrementally as sets are added
+(cheap, because each set touches only its members), exposes the argmax, and
+implements the standard greedy maximum-coverage routine with its
+``1 - (1 - 1/b)^b`` guarantee (Vazirani 2003), which is exactly the
+``Greedy(R)`` of the paper's Algorithm 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SamplingError
+
+
+@dataclass(frozen=True)
+class GreedyCoverResult:
+    """Outcome of greedy maximum coverage."""
+
+    nodes: List[int]
+    covered: int          # number of sets covered by `nodes`
+    marginal_gains: List[int]  # sets newly covered by each pick, in order
+
+
+class CoverageIndex:
+    """A growable pool of node sets with per-node coverage counts."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ConfigurationError(f"need n >= 1, got {n}")
+        self.n = int(n)
+        self._sets: List[np.ndarray] = []
+        self._counts = np.zeros(n, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Pool growth
+    # ------------------------------------------------------------------
+
+    def add(self, members: np.ndarray) -> None:
+        """Add one set (an array of distinct node ids)."""
+        members = np.asarray(members, dtype=np.int64)
+        if len(members) == 0:
+            # An empty reverse sample cannot happen (roots are members), but
+            # guard anyway: an empty set covers nothing and breaks argmax
+            # invariants silently.
+            raise SamplingError("cannot add an empty set to the coverage index")
+        if members.min() < 0 or members.max() >= self.n:
+            raise SamplingError("set contains node ids outside the graph")
+        self._sets.append(members)
+        self._counts[members] += 1
+
+    def __len__(self) -> int:
+        """Number of sets in the pool (``|R|`` in the paper)."""
+        return len(self._sets)
+
+    @property
+    def sets(self) -> Sequence[np.ndarray]:
+        """Read-only view of the stored sets."""
+        return self._sets
+
+    def total_size(self) -> int:
+        """Sum of set sizes; proportional to greedy-cover cost."""
+        return int(sum(len(s) for s in self._sets))
+
+    # ------------------------------------------------------------------
+    # Single-node coverage (TRIM)
+    # ------------------------------------------------------------------
+
+    def coverage_of(self, node: int) -> int:
+        """``Lambda_R(v)``: number of sets containing ``node``."""
+        if not 0 <= node < self.n:
+            raise SamplingError(f"node {node} out of range for n={self.n}")
+        return int(self._counts[node])
+
+    def coverage_counts(self) -> np.ndarray:
+        """A copy of the full per-node coverage vector."""
+        return self._counts.copy()
+
+    def argmax_node(self) -> Tuple[int, int]:
+        """The node maximizing ``Lambda_R(v)`` and its coverage.
+
+        Ties break toward the smallest node id (NumPy argmax convention),
+        which keeps runs reproducible.
+        """
+        if len(self._sets) == 0:
+            raise SamplingError("coverage index is empty; generate sets first")
+        v = int(self._counts.argmax())
+        return v, int(self._counts[v])
+
+    def coverage_of_set(self, nodes: Sequence[int]) -> int:
+        """``Lambda_R(S)``: number of sets hit by *any* node in ``S``."""
+        node_mask = np.zeros(self.n, dtype=bool)
+        for v in nodes:
+            if not 0 <= v < self.n:
+                raise SamplingError(f"node {v} out of range for n={self.n}")
+            node_mask[v] = True
+        hit = 0
+        for members in self._sets:
+            if node_mask[members].any():
+                hit += 1
+        return hit
+
+    # ------------------------------------------------------------------
+    # Greedy maximum coverage (TRIM-B / ATEUC)
+    # ------------------------------------------------------------------
+
+    def greedy_max_coverage(
+        self, budget: int, stop_at_coverage: int = None
+    ) -> GreedyCoverResult:
+        """Pick up to ``budget`` nodes greedily maximizing covered-set count.
+
+        Classic greedy: repeatedly take the node covering the most
+        still-uncovered sets.  Guarantees coverage at least
+        ``(1 - (1 - 1/budget)^budget) * OPT_budget`` (paper Line 8 of
+        Algorithm 3 and Section 4.1).
+
+        When fewer than ``budget`` nodes have positive marginal gain, the
+        remaining picks are arbitrary unused nodes with zero gain — TRIM-B
+        requires a size-``b`` batch regardless.
+
+        ``stop_at_coverage`` ends the sweep as soon as that many sets are
+        covered (seed-minimization callers such as ATEUC use this: they want
+        the shortest prefix reaching a coverage target, not a fixed-size
+        batch).
+        """
+        if budget < 1:
+            raise ConfigurationError(f"budget must be >= 1, got {budget}")
+        if budget > self.n:
+            raise ConfigurationError(
+                f"budget {budget} exceeds node count {self.n}"
+            )
+        gains = self._counts.copy()
+        covered = np.zeros(len(self._sets), dtype=bool)
+        node_indptr, node_sets = self._inverted_index()
+
+        selected: List[int] = []
+        marginal: List[int] = []
+        covered_total = 0
+        for _ in range(budget):
+            if stop_at_coverage is not None and covered_total >= stop_at_coverage:
+                break
+            v = int(gains.argmax())
+            gain = int(gains[v])
+            if gain < 0:  # every node already selected (tiny graphs)
+                break
+            selected.append(v)
+            marginal.append(max(gain, 0))
+            if gain > 0:
+                for sid in node_sets[node_indptr[v] : node_indptr[v + 1]]:
+                    if not covered[sid]:
+                        covered[sid] = True
+                        covered_total += 1
+                        np.subtract.at(gains, self._sets[sid], 1)
+            gains[v] = -1  # never reselect
+        return GreedyCoverResult(selected, covered_total, marginal)
+
+    def _inverted_index(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR-style node -> set-id index built on demand."""
+        if not self._sets:
+            return np.zeros(self.n + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+        lengths = np.fromiter((len(s) for s in self._sets), dtype=np.int64)
+        flat_nodes = np.concatenate(self._sets)
+        set_ids = np.repeat(np.arange(len(self._sets), dtype=np.int64), lengths)
+        order = np.argsort(flat_nodes, kind="stable")
+        counts = np.bincount(flat_nodes, minlength=self.n)
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, set_ids[order]

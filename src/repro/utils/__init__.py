@@ -1,0 +1,30 @@
+"""Shared utilities: RNG management, validation helpers, timing, statistics."""
+
+from repro.utils.rng import RandomSource, as_generator, spawn_generators
+from repro.utils.timing import Stopwatch, format_seconds
+from repro.utils.stats import (
+    SummaryStats,
+    mean_confidence_interval,
+    summarize,
+)
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+    check_probability,
+    check_range,
+)
+
+__all__ = [
+    "RandomSource",
+    "as_generator",
+    "spawn_generators",
+    "Stopwatch",
+    "format_seconds",
+    "SummaryStats",
+    "mean_confidence_interval",
+    "summarize",
+    "check_fraction",
+    "check_positive_int",
+    "check_probability",
+    "check_range",
+]

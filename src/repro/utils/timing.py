@@ -1,0 +1,72 @@
+"""Lightweight wall-clock timing used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    Can be used either as a context manager around a region::
+
+        sw = Stopwatch()
+        with sw:
+            do_work()
+        print(sw.elapsed)
+
+    or via explicit :meth:`start` / :meth:`stop` calls.  Multiple runs
+    accumulate, which is what the per-round timing in the harness needs.
+    """
+
+    def __init__(self) -> None:
+        self._elapsed = 0.0
+        self._started_at: Optional[float] = None
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated seconds (including a currently running span)."""
+        total = self._elapsed
+        if self._started_at is not None:
+            total += time.perf_counter() - self._started_at
+        return total
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        self._elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        self._elapsed = 0.0
+        self._started_at = None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration compactly: ``950ms``, ``12.3s``, ``4m02s``."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rem:04.1f}s"

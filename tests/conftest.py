@@ -1,0 +1,84 @@
+"""Shared fixtures: small graphs with hand-computable spreads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion.ic import IndependentCascade
+from repro.diffusion.lt import LinearThreshold
+from repro.graph.builder import GraphBuilder
+from repro.graph import generators, weighting
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ic_model():
+    return IndependentCascade()
+
+
+@pytest.fixture
+def lt_model():
+    return LinearThreshold()
+
+
+@pytest.fixture
+def path3():
+    """0 -> 1 -> 2, all certain."""
+    return generators.path_graph(3, probability=1.0)
+
+
+@pytest.fixture
+def path5_half():
+    """0 -> 1 -> 2 -> 3 -> 4 with p = 0.5 everywhere."""
+    return generators.path_graph(5, probability=0.5)
+
+
+@pytest.fixture
+def star6():
+    """Hub 0 pointing at 5 leaves, all certain."""
+    return generators.star_graph(6, probability=1.0)
+
+
+@pytest.fixture
+def paper_example():
+    """Figure 2 / Example 2.3 graph: the truncated-vs-vanilla showcase."""
+    return generators.paper_example_graph()
+
+
+@pytest.fixture
+def diamond():
+    """0 -> {1, 2} -> 3 with certain edges (LT-invalid at node 3)."""
+    builder = GraphBuilder(4)
+    builder.add_edge(0, 1, 1.0)
+    builder.add_edge(0, 2, 1.0)
+    builder.add_edge(1, 3, 1.0)
+    builder.add_edge(2, 3, 1.0)
+    return builder.build()
+
+
+@pytest.fixture
+def two_components():
+    """Two disjoint certain paths: 0 -> 1 and 2 -> 3."""
+    builder = GraphBuilder(4)
+    builder.add_edge(0, 1, 1.0)
+    builder.add_edge(2, 3, 1.0)
+    return builder.build()
+
+
+@pytest.fixture
+def small_social():
+    """A 120-node weighted-cascade graph for integration-ish unit tests."""
+    topology = generators.preferential_attachment(120, 2, seed=42, directed=False)
+    return weighting.weighted_cascade(topology)
+
+
+@pytest.fixture
+def small_social_damped():
+    """Same topology with damped probabilities (multi-round regime)."""
+    topology = generators.preferential_attachment(120, 2, seed=42, directed=False)
+    return weighting.scaled_cascade(topology, 0.5)

@@ -1,0 +1,132 @@
+"""Failure-injection tests: the system must fail loudly, not loop or lie.
+
+Adaptive loops are prone to two silent failure modes — infinite selection
+loops when progress stalls, and quietly wrong answers when ground truth and
+graph drift apart.  These tests corrupt inputs on purpose and pin the
+error behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.asti import ASTI, run_adaptive_policy
+from repro.core.policy import SeedSelector, Selection
+from repro.core.session import AdaptiveSession
+from repro.core.trim import TrimSelector
+from repro.diffusion.ic import IndependentCascade
+from repro.diffusion.realization import ICRealization
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleTargetError,
+    ReproError,
+    SamplingError,
+)
+from repro.graph import generators
+from repro.graph.residual import ResidualGraph, initial_residual
+
+
+@pytest.fixture
+def model():
+    return IndependentCascade()
+
+
+class TestDisconnectedWorlds:
+    def test_blocked_world_still_terminates(self, model):
+        """Every edge blocked: the policy must seed eta nodes one by one."""
+        g = generators.path_graph(10, probability=0.5)
+        dead_world = ICRealization(g, np.zeros(g.m, dtype=bool))
+        result = ASTI(model, max_samples=2000).run(g, 6, realization=dead_world, seed=0)
+        assert result.seed_count == 6
+        assert result.spread == 6
+
+    def test_eta_larger_than_reachable_is_still_feasible_by_seeding(self, model):
+        # Disconnection does not make ASM infeasible: isolated nodes can be
+        # seeded directly.
+        g = generators.path_graph(4, probability=0.5)
+        dead_world = ICRealization(g, np.zeros(g.m, dtype=bool))
+        result = ASTI(model, max_samples=2000).run(g, 4, realization=dead_world, seed=1)
+        assert result.spread == 4
+        assert result.seed_count == 4
+
+
+class TestMisbehavingSelector:
+    def test_selector_returning_invalid_node_fails_fast(self, model):
+        class BadSelector(SeedSelector):
+            name = "bad"
+
+            def select(self, residual, rng):
+                return Selection(nodes=[residual.n + 5])
+
+        g = generators.path_graph(5)
+        with pytest.raises(ReproError):
+            run_adaptive_policy(g, 3, model, BadSelector(), seed=0)
+
+    def test_selector_raising_propagates(self, model):
+        class ExplodingSelector(SeedSelector):
+            name = "boom"
+
+            def select(self, residual, rng):
+                raise SamplingError("injected failure")
+
+        g = generators.path_graph(5)
+        with pytest.raises(SamplingError, match="injected failure"):
+            run_adaptive_policy(g, 3, model, ExplodingSelector(), seed=0)
+
+
+class TestCorruptedResidualState:
+    def test_inconsistent_shortfall_detected(self, model, rng):
+        # Shortfall exceeding the residual node count must be rejected by
+        # the selector instead of looping.
+        g = generators.path_graph(4)
+        corrupted = ResidualGraph(
+            graph=g,
+            original_ids=np.arange(4),
+            shortfall=9,
+            round_index=1,
+        )
+        with pytest.raises(InfeasibleTargetError):
+            TrimSelector(model).select(corrupted, rng)
+
+
+class TestSessionGuards:
+    def test_foreign_realization_rejected(self, model):
+        g1 = generators.path_graph(4)
+        g2 = generators.path_graph(4)
+        phi = model.sample_realization(g2, seed=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveSession(g1, eta=2, realization=phi)
+
+    def test_observing_garbage_local_ids_fails(self, model):
+        g = generators.path_graph(4)
+        phi = model.sample_realization(g, seed=0)
+        session = AdaptiveSession(g, eta=2, realization=phi)
+        with pytest.raises(ReproError):
+            session.observe([99])
+
+
+class TestNumericEdgeCases:
+    def test_eta_one(self, model):
+        g = generators.path_graph(5, probability=0.5)
+        result = ASTI(model, max_samples=2000).run(g, 1, seed=0)
+        assert result.seed_count == 1
+        assert result.spread >= 1
+
+    def test_two_node_graph(self, model):
+        g = generators.path_graph(2, probability=0.5)
+        result = ASTI(model, max_samples=2000).run(g, 2, seed=0)
+        assert result.spread == 2
+
+    def test_edgeless_graph(self, model):
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges(5, [])
+        result = ASTI(model, max_samples=2000).run(g, 3, seed=0)
+        # No edges: each seed activates exactly itself.
+        assert result.seed_count == 3
+
+    def test_epsilon_extremes_rejected_everywhere(self, model):
+        for eps in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                ASTI(model, epsilon=eps)
+            with pytest.raises(ConfigurationError):
+                TrimSelector(model, epsilon=eps)

@@ -1,0 +1,82 @@
+"""Property-based tests for the coverage index and greedy max coverage."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sampling.coverage import CoverageIndex
+
+
+@st.composite
+def coverage_instances(draw, max_nodes=10, max_sets=12):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    sets = draw(
+        st.lists(
+            st.lists(st.integers(0, n - 1), min_size=1, max_size=n, unique=True),
+            min_size=1,
+            max_size=max_sets,
+        )
+    )
+    index = CoverageIndex(n)
+    for members in sets:
+        index.add(np.asarray(members, dtype=np.int64))
+    return index
+
+
+@given(coverage_instances())
+@settings(max_examples=80, deadline=None)
+def test_counts_consistent_with_sets(index):
+    for v in range(index.n):
+        manual = sum(1 for s in index.sets if v in s)
+        assert index.coverage_of(v) == manual
+
+
+@given(coverage_instances())
+@settings(max_examples=80, deadline=None)
+def test_argmax_is_maximal(index):
+    node, coverage = index.argmax_node()
+    assert coverage == max(index.coverage_of(v) for v in range(index.n))
+    assert index.coverage_of(node) == coverage
+
+
+@given(coverage_instances(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_set_coverage_bounds(index, data):
+    nodes = data.draw(
+        st.lists(st.integers(0, index.n - 1), min_size=1, max_size=4, unique=True)
+    )
+    union = index.coverage_of_set(nodes)
+    best_single = max(index.coverage_of(v) for v in nodes)
+    total = sum(index.coverage_of(v) for v in nodes)
+    assert best_single <= union <= min(total, len(index))
+
+
+@given(coverage_instances(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_greedy_matches_its_own_coverage(index, data):
+    budget = data.draw(st.integers(1, index.n))
+    result = index.greedy_max_coverage(budget)
+    assert result.covered == index.coverage_of_set(result.nodes)
+    assert sum(result.marginal_gains) == result.covered
+
+
+@given(coverage_instances(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_greedy_guarantee_against_bruteforce(index, data):
+    """Coverage >= (1 - (1 - 1/b)^b) * OPT_b, checked by brute force."""
+    import itertools
+
+    budget = data.draw(st.integers(1, min(3, index.n)))
+    greedy = index.greedy_max_coverage(budget).covered
+    best = 0
+    for combo in itertools.combinations(range(index.n), budget):
+        best = max(best, index.coverage_of_set(list(combo)))
+    rho = 1.0 - (1.0 - 1.0 / budget) ** budget
+    assert greedy >= rho * best - 1e-9
+
+
+@given(coverage_instances())
+@settings(max_examples=60, deadline=None)
+def test_greedy_first_pick_is_argmax(index):
+    result = index.greedy_max_coverage(1)
+    _, best = index.argmax_node()
+    assert result.covered == best

@@ -1,0 +1,86 @@
+"""Property-based tests pinning the mRR estimator to Theorem 3.3.
+
+These sample small random graphs, compute the *exact* expected truncated
+spread by enumeration, and check the sampled mRR estimate lands inside the
+paper's bias bracket ``[(1 - 1/e) * truth, truth]`` (with sampling slack).
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.diffusion.exact import exact_expected_truncated_spread
+from repro.diffusion.ic import IndependentCascade
+from repro.graph.digraph import DiGraph
+from repro.sampling.mrr import MRRCollection, RootCountRule, estimate_truncated_spread_mrr
+
+ONE_MINUS_INV_E = 1.0 - 1.0 / np.e
+MODEL = IndependentCascade()
+
+
+@st.composite
+def small_probabilistic_graphs(draw):
+    """Graphs small enough for exact IC enumeration (m <= 10)."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    pair = st.tuples(
+        st.integers(0, n - 1), st.integers(0, n - 1)
+    ).filter(lambda t: t[0] != t[1])
+    pairs = draw(st.lists(pair, max_size=10, unique=True))
+    probs = draw(
+        st.lists(
+            st.sampled_from([0.25, 0.5, 0.75, 1.0]),
+            min_size=len(pairs),
+            max_size=len(pairs),
+        )
+    )
+    return DiGraph.from_edges(n, [(u, v, p) for (u, v), p in zip(pairs, probs)])
+
+
+@given(small_probabilistic_graphs(), st.data())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_theorem_3_3_bracket(graph, data):
+    eta = data.draw(st.integers(1, graph.n))
+    seed_node = data.draw(st.integers(0, graph.n - 1))
+    truth = exact_expected_truncated_spread(graph, MODEL, [seed_node], eta)
+    estimate = estimate_truncated_spread_mrr(
+        graph, MODEL, [seed_node], eta, theta=4000, seed=0
+    )
+    # truth >= 1 always (the seed counts itself), so relative slack is safe.
+    assert estimate <= truth * 1.12
+    assert estimate >= ONE_MINUS_INV_E * truth * 0.88
+
+
+@given(small_probabilistic_graphs(), st.data())
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_estimator_monotone_in_seed_set(graph, data):
+    """Adding seeds can only increase the coverage-based estimate."""
+    eta = data.draw(st.integers(1, graph.n))
+    pool = MRRCollection(graph, MODEL, eta, seed=1)
+    pool.grow_to(500)
+    seeds = data.draw(
+        st.lists(st.integers(0, graph.n - 1), min_size=1, max_size=2, unique=True)
+    )
+    extra = data.draw(st.integers(0, graph.n - 1))
+    small = pool.estimated_truncated_spread(seeds)
+    large = pool.estimated_truncated_spread(sorted(set(seeds) | {extra}))
+    assert large >= small - 1e-12
+
+
+@given(st.integers(2, 50), st.data())
+@settings(max_examples=40, deadline=None)
+def test_root_count_rule_expectation(n, data):
+    eta = data.draw(st.integers(1, n))
+    rule = RootCountRule.for_target(n, eta)
+    assert rule.expectation == n / eta
+    rng = np.random.default_rng(0)
+    draws = [rule.draw(rng) for _ in range(400)]
+    assert all(1 <= k <= n for k in draws)
+    if rule.fraction == 0:
+        assert len(set(draws)) == 1

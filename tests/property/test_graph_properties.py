@@ -1,0 +1,118 @@
+"""Property-based tests on graph invariants."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph, gather_csr_rows, nodes_reachable_from
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.residual import initial_residual, shrink_residual
+
+
+@st.composite
+def random_graphs(draw, max_nodes=12, max_edges=30):
+    """Random simple digraphs with probabilities in (0, 1]."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pair = st.tuples(
+        st.integers(0, n - 1), st.integers(0, n - 1)
+    ).filter(lambda t: t[0] != t[1])
+    pairs = draw(st.lists(pair, max_size=max_edges, unique=True))
+    probs = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0),
+            min_size=len(pairs),
+            max_size=len(pairs),
+        )
+    )
+    return DiGraph.from_edges(n, [(u, v, p) for (u, v), p in zip(pairs, probs)])
+
+
+@given(random_graphs())
+@settings(max_examples=60, deadline=None)
+def test_degree_sums_equal_edge_count(graph):
+    assert int(graph.out_degrees().sum()) == graph.m
+    assert int(graph.in_degrees().sum()) == graph.m
+
+
+@given(random_graphs())
+@settings(max_examples=60, deadline=None)
+def test_reverse_swaps_degree_vectors(graph):
+    reverse = graph.reverse()
+    assert np.array_equal(reverse.out_degrees(), graph.in_degrees())
+    assert np.array_equal(reverse.in_degrees(), graph.out_degrees())
+
+
+@given(random_graphs())
+@settings(max_examples=60, deadline=None)
+def test_edge_arrays_round_trip(graph):
+    src, dst, probs = graph.edge_arrays()
+    rebuilt = DiGraph.from_arrays(graph.n, src, dst, probs)
+    assert rebuilt == graph
+
+
+@given(random_graphs())
+@settings(max_examples=40, deadline=None)
+def test_io_round_trip(graph):
+    buffer = io.StringIO()
+    write_edge_list(graph, buffer)
+    buffer.seek(0)
+    assert read_edge_list(buffer) == graph
+
+
+@given(random_graphs(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_induced_subgraph_preserves_kept_edges(graph, data):
+    keep = np.array(
+        data.draw(
+            st.lists(st.booleans(), min_size=graph.n, max_size=graph.n)
+        )
+    )
+    sub, kept_ids = graph.induced_subgraph(keep)
+    assert sub.n == int(keep.sum())
+    # Every surviving edge maps to an original edge between kept nodes.
+    for u, v, p in sub.edges():
+        assert graph.has_edge(int(kept_ids[u]), int(kept_ids[v]))
+    # Edge count equals original edges with both endpoints kept.
+    src, dst, _ = graph.edge_arrays()
+    expected = int((keep[src] & keep[dst]).sum())
+    assert sub.m == expected
+
+
+@given(random_graphs(), st.data())
+@settings(max_examples=50, deadline=None)
+def test_gather_csr_rows_matches_slices(graph, data):
+    nodes = data.draw(
+        st.lists(st.integers(0, graph.n - 1), min_size=0, max_size=6)
+    )
+    indptr, targets, _ = graph.out_csr
+    positions = gather_csr_rows(indptr, np.asarray(nodes, dtype=np.int64))
+    expected = np.concatenate(
+        [targets[indptr[v] : indptr[v + 1]] for v in nodes]
+    ) if nodes else np.empty(0, dtype=np.int64)
+    assert np.array_equal(targets[positions], expected)
+
+
+@given(random_graphs())
+@settings(max_examples=40, deadline=None)
+def test_reachability_is_monotone_in_sources(graph):
+    single = nodes_reachable_from(graph, [0])
+    double = nodes_reachable_from(graph, [0, graph.n - 1])
+    assert (double | single).tolist() == double.tolist()  # superset
+
+
+@given(random_graphs(), st.data())
+@settings(max_examples=50, deadline=None)
+def test_residual_shrink_conserves_nodes(graph, data):
+    eta = data.draw(st.integers(1, graph.n))
+    residual = initial_residual(graph, eta)
+    activated = data.draw(
+        st.lists(st.integers(0, graph.n - 1), min_size=1, max_size=graph.n, unique=True)
+    )
+    shrunk = shrink_residual(residual, activated)
+    assert shrunk.n == graph.n - len(activated)
+    assert shrunk.shortfall == max(0, eta - len(activated))
+    # Original ids are sorted and disjoint from the activated set.
+    ids = shrunk.original_ids.tolist()
+    assert ids == sorted(ids)
+    assert not set(ids) & set(activated)

@@ -1,0 +1,64 @@
+"""Unit tests for the ATEUC non-adaptive baseline."""
+
+import pytest
+
+from repro.baselines.ateuc import ATEUC
+from repro.errors import ConfigurationError
+from repro.graph import generators
+
+
+class TestATEUC:
+    def test_estimated_spread_reaches_eta(self, ic_model, small_social_damped):
+        result = ATEUC(ic_model).run(small_social_damped, eta=20, seed=0)
+        assert result.estimated_spread >= 20 * 0.9
+        assert result.seed_count >= 1
+        assert result.samples >= 512
+
+    def test_star_needs_one_seed(self, ic_model):
+        g = generators.star_graph(30, probability=1.0)
+        result = ATEUC(ic_model).run(g, eta=10, seed=1)
+        assert result.seeds == [0]
+
+    def test_lower_bound_at_most_upper(self, ic_model, small_social_damped):
+        result = ATEUC(ic_model).run(small_social_damped, eta=25, seed=2)
+        assert result.lower_bound_count <= result.seed_count
+
+    def test_feasibility_not_guaranteed_per_realization(self, ic_model, small_social_damped):
+        # The defining weakness of non-adaptive selection: evaluate the fixed
+        # seed set on many worlds and it will miss eta on some of them.
+        result = ATEUC(ic_model).run(small_social_damped, eta=30, seed=3)
+        spreads = [
+            ic_model.sample_realization(small_social_damped, seed=100 + i).spread(result.seeds)
+            for i in range(20)
+        ]
+        assert min(spreads) < max(spreads)  # real variance across worlds
+
+    def test_more_seeds_for_larger_eta(self, ic_model, small_social_damped):
+        small = ATEUC(ic_model).run(small_social_damped, eta=10, seed=4)
+        large = ATEUC(ic_model).run(small_social_damped, eta=40, seed=4)
+        assert large.seed_count >= small.seed_count
+
+    def test_eta_validation(self, ic_model, path3):
+        with pytest.raises(ConfigurationError):
+            ATEUC(ic_model).run(path3, eta=0)
+        with pytest.raises(ConfigurationError):
+            ATEUC(ic_model).run(path3, eta=9)
+
+    def test_parameter_validation(self, ic_model):
+        with pytest.raises(ConfigurationError):
+            ATEUC(ic_model, gamma=0.5)
+        with pytest.raises(ConfigurationError):
+            ATEUC(ic_model, theta_initial=0)
+
+    def test_reproducible(self, ic_model, small_social_damped):
+        a = ATEUC(ic_model).run(small_social_damped, eta=20, seed=7)
+        b = ATEUC(ic_model).run(small_social_damped, eta=20, seed=7)
+        assert a.seeds == b.seeds
+
+    def test_lt_model(self, lt_model, small_social_damped):
+        result = ATEUC(lt_model).run(small_social_damped, eta=15, seed=8)
+        assert result.estimated_spread >= 15 * 0.9
+
+    def test_eta_equals_n(self, ic_model, path3):
+        result = ATEUC(ic_model).run(path3, eta=3, seed=9)
+        assert result.seed_count >= 1

@@ -1,0 +1,79 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.errors import EdgeError
+from repro.graph.builder import GraphBuilder
+
+
+class TestAddEdge:
+    def test_basic_build(self):
+        g = GraphBuilder(3).add_edge(0, 1, 0.5).add_edge(1, 2, 0.7).build()
+        assert g.m == 2
+        assert g.edge_probability(1, 2) == pytest.approx(0.7)
+
+    def test_deduplicate_keeps_last(self):
+        builder = GraphBuilder(2)
+        builder.add_edge(0, 1, 0.3)
+        builder.add_edge(0, 1, 0.9)
+        g = builder.build()
+        assert g.m == 1
+        assert g.edge_probability(0, 1) == pytest.approx(0.9)
+
+    def test_parallel_edges_when_requested(self):
+        builder = GraphBuilder(2, deduplicate=False)
+        builder.add_edge(0, 1, 0.3)
+        builder.add_edge(0, 1, 0.9)
+        assert len(builder) == 2
+        assert builder.build().m == 2
+
+    def test_has_edge(self):
+        builder = GraphBuilder(2).add_edge(0, 1, 0.5)
+        assert builder.has_edge(0, 1)
+        assert not builder.has_edge(1, 0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(EdgeError):
+            GraphBuilder(2).add_edge(1, 1, 0.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(EdgeError):
+            GraphBuilder(2).add_edge(0, 2, 0.5)
+        with pytest.raises(EdgeError):
+            GraphBuilder(2).add_edge(-1, 0, 0.5)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(EdgeError):
+            GraphBuilder(2).add_edge(0, 1, 0.0)
+        with pytest.raises(EdgeError):
+            GraphBuilder(2).add_edge(0, 1, 1.1)
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(EdgeError):
+            GraphBuilder(-1)
+
+
+class TestBulkHelpers:
+    def test_undirected_edge_adds_both_directions(self):
+        g = GraphBuilder(2).add_undirected_edge(0, 1, 0.4).build()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.m == 2
+
+    def test_add_edges(self):
+        g = GraphBuilder(3).add_edges([(0, 1, 0.5), (1, 2, 0.5)]).build()
+        assert g.m == 2
+
+    def test_add_path(self):
+        g = GraphBuilder(4).add_path([0, 1, 2, 3], 0.25).build()
+        assert g.m == 3
+        assert g.edge_probability(2, 3) == pytest.approx(0.25)
+
+    def test_add_path_single_node_is_noop(self):
+        g = GraphBuilder(2).add_path([0], 0.5).build()
+        assert g.m == 0
+
+    def test_empty_build(self):
+        g = GraphBuilder(5).build()
+        assert g.n == 5
+        assert g.m == 0

@@ -1,0 +1,48 @@
+"""Unit tests for the campaign runner."""
+
+import pytest
+
+from repro.experiments.campaign import CampaignScale, run_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    scale = CampaignScale(
+        graph_n=120,
+        realizations=2,
+        eta_fractions=(0.05,),
+        max_samples=3000,
+        algorithms=("ASTI", "ATEUC"),
+    )
+    return run_campaign(dataset_names=("nethept-sim",), models=("IC",), scale=scale)
+
+
+class TestScalePresets:
+    def test_smoke_is_tiny(self):
+        smoke = CampaignScale.smoke()
+        assert smoke.graph_n <= 400
+        assert smoke.realizations <= 3
+
+    def test_laptop_uses_paper_sweep(self):
+        laptop = CampaignScale.laptop()
+        assert laptop.eta_fractions is None
+        assert laptop.realizations >= 10
+
+
+class TestRunCampaign:
+    def test_grid_keys(self, campaign):
+        assert set(campaign.sweeps) == {("nethept-sim", "IC")}
+        assert campaign.seconds > 0
+
+    def test_sweep_contents(self, campaign):
+        sweep = campaign.sweeps[("nethept-sim", "IC")]
+        assert len(sweep.eta_values) == 1
+        assert set(sweep.outcomes[sweep.eta_values[0]]) == {"ASTI", "ATEUC"}
+
+    def test_markdown_report(self, campaign):
+        report = campaign.markdown_report()
+        assert report.startswith("# Campaign report")
+        assert "nethept-sim / IC" in report
+        assert "Seeds (Figures 4/6)" in report
+        assert "Table 3 cells" in report
+        assert "```" in report

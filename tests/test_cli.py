@@ -1,0 +1,109 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import generators
+from repro.graph.io import write_edge_list
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_solve_requires_graph_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--eta", "5"])
+
+
+class TestDatasetsCommand:
+    def test_prints_all_rows(self):
+        code, text = run_cli(["datasets", "--n", "120"])
+        assert code == 0
+        for name in ("nethept-sim", "epinions-sim", "youtube-sim", "livejournal-sim"):
+            assert name in text
+
+
+class TestSolveCommand:
+    def test_solve_on_dataset(self):
+        code, text = run_cli(
+            ["solve", "--dataset", "nethept-sim", "--n", "150", "--eta", "10",
+             "--max-samples", "3000", "--seed", "1"]
+        )
+        assert code == 0
+        assert "ASTI" in text
+        assert "round 1" in text
+
+    def test_solve_quiet(self):
+        code, text = run_cli(
+            ["solve", "--dataset", "nethept-sim", "--n", "150", "--eta", "5",
+             "--max-samples", "3000", "--quiet"]
+        )
+        assert code == 0
+        assert "round 1:" not in text  # the per-round log is suppressed
+
+    def test_solve_batched(self):
+        code, text = run_cli(
+            ["solve", "--dataset", "nethept-sim", "--n", "150", "--eta", "10",
+             "--batch-size", "4", "--max-samples", "3000"]
+        )
+        assert code == 0
+        assert "ASTI-4" in text
+
+    def test_solve_edge_list(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(generators.star_graph(20, probability=1.0), path)
+        code, text = run_cli(["solve", "--edge-list", str(path), "--eta", "10"])
+        assert code == 0
+        assert "1 seeds" in text
+
+    def test_infeasible_eta_reports_error(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(generators.path_graph(3), path)
+        code, _ = run_cli(["solve", "--edge-list", str(path), "--eta", "99"])
+        assert code == 2
+
+
+class TestSweepCommand:
+    def test_sweep_with_exports(self, tmp_path):
+        csv_path = tmp_path / "runs.csv"
+        json_path = tmp_path / "summary.json"
+        code, text = run_cli(
+            [
+                "sweep", "--dataset", "nethept-sim", "--n", "120",
+                "--fractions", "0.05", "--algorithms", "ASTI,ATEUC",
+                "--realizations", "2", "--max-samples", "3000",
+                "--out-csv", str(csv_path), "--out-json", str(json_path),
+            ]
+        )
+        assert code == 0
+        assert "mean seed count" in text
+        assert csv_path.exists()
+        assert json_path.exists()
+
+
+class TestEstimateCommand:
+    def test_estimate_with_mc_cross_check(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(generators.star_graph(12, probability=1.0), path)
+        code, text = run_cli(
+            ["estimate", "--edge-list", str(path), "--eta", "3",
+             "--seeds", "0", "--theta", "2000", "--mc-samples", "200"]
+        )
+        assert code == 0
+        assert "mRR estimate" in text
+        assert "Monte-Carlo cross-check" in text

@@ -1,0 +1,74 @@
+"""Unit tests for experiment configs."""
+
+import pytest
+
+from repro.diffusion.ic import IndependentCascade
+from repro.diffusion.lt import LinearThreshold
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_ALGORITHMS,
+    paper_config,
+    quick_config,
+)
+
+
+class TestExperimentConfig:
+    def test_model_factory(self):
+        ic = ExperimentConfig(dataset="nethept-sim", model_name="IC")
+        lt = ExperimentConfig(dataset="nethept-sim", model_name="LT")
+        assert isinstance(ic.make_model(), IndependentCascade)
+        assert isinstance(lt.make_model(), LinearThreshold)
+
+    def test_eta_values_rounded(self):
+        config = ExperimentConfig(
+            dataset="nethept-sim", eta_fractions=(0.01, 0.5)
+        )
+        assert config.eta_values(200) == (2, 100)
+
+    def test_eta_values_floor_at_one(self):
+        config = ExperimentConfig(dataset="nethept-sim", eta_fractions=(0.001,))
+        assert config.eta_values(100) == (1,)
+
+    def test_build_graph_uses_override(self):
+        config = ExperimentConfig(dataset="nethept-sim", graph_n=123)
+        assert config.build_graph().n == 123
+
+    def test_scaled_copy(self):
+        config = ExperimentConfig(dataset="nethept-sim")
+        smaller = config.scaled(realizations=2)
+        assert smaller.realizations == 2
+        assert smaller.dataset == config.dataset
+
+    def test_validation_errors(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(dataset="unknown")
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(dataset="nethept-sim", model_name="SIR")
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(dataset="nethept-sim", eta_fractions=(1.5,))
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(dataset="nethept-sim", algorithms=("MAGIC",))
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(dataset="nethept-sim", realizations=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(dataset="nethept-sim", epsilon=0.0)
+
+
+class TestPresets:
+    def test_paper_config(self):
+        config = paper_config("nethept-sim", "LT")
+        assert config.realizations == 20
+        assert config.epsilon == 0.5
+        assert config.algorithms == PAPER_ALGORITHMS
+        assert config.model_name == "LT"
+
+    def test_paper_config_livejournal_small_etas(self):
+        config = paper_config("livejournal-sim")
+        assert max(config.eta_fractions) == 0.05
+
+    def test_quick_config_is_small(self):
+        config = quick_config()
+        assert config.realizations <= 5
+        assert config.graph_n <= 500
+        assert config.max_samples is not None

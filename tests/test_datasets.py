@@ -1,0 +1,89 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import datasets
+from repro.graph import analysis
+
+
+class TestRegistry:
+    def test_four_datasets_in_paper_order(self):
+        assert datasets.dataset_names() == [
+            "nethept-sim",
+            "epinions-sim",
+            "youtube-sim",
+            "livejournal-sim",
+        ]
+
+    def test_get_spec_round_trip(self):
+        spec = datasets.get_spec("nethept-sim")
+        assert spec.paper_name == "NetHEPT"
+        assert not spec.directed
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            datasets.get_spec("facebook")
+
+    def test_eta_fractions(self):
+        assert datasets.eta_fractions_for("nethept-sim") == datasets.LARGE_ETA_FRACTIONS
+        assert (
+            datasets.eta_fractions_for("livejournal-sim")
+            == datasets.SMALL_ETA_FRACTIONS
+        )
+
+
+class TestBuild:
+    @pytest.mark.parametrize("name", datasets.dataset_names())
+    def test_builds_at_small_scale(self, name):
+        g = datasets.load_dataset(name, n=200, seed=0)
+        assert g.n == 200
+        assert g.m > 0
+
+    def test_default_size(self):
+        spec = datasets.get_spec("nethept-sim")
+        g = spec.build(seed=0)
+        assert g.n == spec.default_n
+
+    def test_reproducible(self):
+        a = datasets.load_dataset("nethept-sim", n=150, seed=0)
+        b = datasets.load_dataset("nethept-sim", n=150, seed=0)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = datasets.load_dataset("nethept-sim", n=150, seed=0)
+        b = datasets.load_dataset("nethept-sim", n=150, seed=1)
+        assert a != b
+
+    def test_lwcc_fraction_respected(self):
+        g = datasets.load_dataset("nethept-sim", n=400, seed=0)
+        lwcc = analysis.largest_wcc_size(g)
+        # Spec pins 45%; fragments are tiny so the core is the LWCC.
+        assert lwcc == pytest.approx(0.45 * 400, abs=4)
+
+    def test_fully_connected_dataset(self):
+        g = datasets.load_dataset("youtube-sim", n=300, seed=0)
+        assert analysis.largest_wcc_size(g) == 300
+
+    def test_no_isolated_nodes(self):
+        for name in datasets.dataset_names():
+            g = datasets.load_dataset(name, n=150, seed=0)
+            total_degree = g.in_degrees() + g.out_degrees()
+            assert total_degree.min() >= 1, name
+
+    def test_damping_applied(self):
+        # All edge probabilities must be gamma / indeg <= gamma < 1.
+        spec = datasets.get_spec("nethept-sim")
+        g = spec.build(n=200, seed=0)
+        _, _, probs = g.edge_arrays()
+        assert probs.max() <= spec.damping + 1e-12
+
+    def test_valid_lt_weighting(self):
+        from repro.diffusion.lt import check_lt_validity
+
+        for name in datasets.dataset_names():
+            check_lt_validity(datasets.load_dataset(name, n=150, seed=0))
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            datasets.load_dataset("nethept-sim", n=0)

@@ -1,0 +1,75 @@
+"""Unit tests for coverage-to-spread estimator conversions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sampling.estimators import (
+    MRR_FIXED_CEIL,
+    MRR_FIXED_FLOOR,
+    MRR_RANDOMIZED_ROUNDING,
+    mrr_truncated_estimate,
+    rr_spread_estimate,
+    rr_truncated_bias_factor,
+)
+
+
+class TestRRSpreadEstimate:
+    def test_full_coverage(self):
+        assert rr_spread_estimate(100, 100, 50) == pytest.approx(50.0)
+
+    def test_zero_coverage(self):
+        assert rr_spread_estimate(0, 100, 50) == 0.0
+
+    def test_scaling(self):
+        assert rr_spread_estimate(25, 100, 200) == pytest.approx(50.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            rr_spread_estimate(5, 0, 10)
+        with pytest.raises(ConfigurationError):
+            rr_spread_estimate(11, 10, 10)
+
+
+class TestMRRTruncatedEstimate:
+    def test_scaling_by_eta(self):
+        assert mrr_truncated_estimate(50, 100, 8) == pytest.approx(4.0)
+
+    def test_never_exceeds_eta(self):
+        assert mrr_truncated_estimate(100, 100, 8) == pytest.approx(8.0)
+
+    def test_invalid_eta(self):
+        with pytest.raises(ConfigurationError):
+            mrr_truncated_estimate(1, 10, 0)
+
+
+class TestBiasFactor:
+    def test_small_eta_large_bias(self):
+        assert rr_truncated_bias_factor(10, 1000) == pytest.approx(0.01)
+
+    def test_eta_equals_n_unbiased(self):
+        assert rr_truncated_bias_factor(50, 50) == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            rr_truncated_bias_factor(0, 10)
+        with pytest.raises(ConfigurationError):
+            rr_truncated_bias_factor(11, 10)
+
+
+class TestGuaranteeBrackets:
+    def test_randomized_rounding_bracket(self):
+        # Theorem 3.3: [1 - 1/e, 1].
+        assert MRR_RANDOMIZED_ROUNDING.low == pytest.approx(1 - 1 / 2.718281828, rel=1e-6)
+        assert MRR_RANDOMIZED_ROUNDING.high == 1.0
+
+    def test_fixed_rules_are_coarser(self):
+        # The Remark after Corollary 3.4: both fixed rules lose — the floor
+        # rule weakens the lower edge (1 - 1/sqrt(e) < 1 - 1/e) and the ceil
+        # rule weakens the upper edge (2 > 1).
+        assert MRR_FIXED_FLOOR.low < MRR_RANDOMIZED_ROUNDING.low
+        assert MRR_FIXED_CEIL.high > MRR_RANDOMIZED_ROUNDING.high
+
+    def test_contains(self):
+        assert MRR_RANDOMIZED_ROUNDING.contains(0.8)
+        assert not MRR_RANDOMIZED_ROUNDING.contains(1.2)
+        assert MRR_RANDOMIZED_ROUNDING.contains(1.05, slack=0.1)

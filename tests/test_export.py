@@ -1,0 +1,76 @@
+"""Unit tests for CSV/JSON export of sweep results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.config import quick_config
+from repro.experiments.export import (
+    RUN_COLUMNS,
+    read_sweep_json,
+    sweep_to_rows,
+    sweep_to_summary,
+    write_sweep_csv,
+    write_sweep_json,
+)
+from repro.experiments.harness import run_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(
+        quick_config(
+            graph_n=120,
+            realizations=2,
+            algorithms=("ASTI", "ATEUC"),
+            eta_fractions=(0.05,),
+            max_samples=3000,
+            seed=0,
+        )
+    )
+
+
+class TestRows:
+    def test_row_count(self, sweep):
+        rows = sweep_to_rows(sweep)
+        # 1 eta x 2 algorithms x 2 realizations.
+        assert len(rows) == 4
+
+    def test_row_fields(self, sweep):
+        for row in sweep_to_rows(sweep):
+            assert set(row) == set(RUN_COLUMNS)
+            assert row["dataset"] == "nethept-sim"
+            assert row["model"] == "IC"
+            assert row["seed_count"] >= 1
+
+
+class TestCsv:
+    def test_round_trip(self, sweep, tmp_path):
+        path = tmp_path / "runs.csv"
+        count = write_sweep_csv(sweep, path)
+        with open(path, newline="") as handle:
+            loaded = list(csv.DictReader(handle))
+        assert len(loaded) == count == 4
+        assert loaded[0]["algorithm"] in ("ASTI", "ATEUC")
+        assert int(loaded[0]["eta"]) == sweep.eta_values[0]
+
+
+class TestJson:
+    def test_summary_structure(self, sweep):
+        summary = sweep_to_summary(sweep)
+        assert summary["dataset"] == "nethept-sim"
+        assert len(summary["points"]) == 2  # 1 eta x 2 algorithms
+        point = summary["points"][0]
+        assert {"eta", "algorithm", "mean_seed_count", "feasibility_rate"} <= set(point)
+
+    def test_file_round_trip(self, sweep, tmp_path):
+        path = tmp_path / "summary.json"
+        write_sweep_json(sweep, path)
+        loaded = read_sweep_json(path)
+        assert loaded == sweep_to_summary(sweep)
+
+    def test_json_is_plain_types(self, sweep):
+        # Everything must survive a strict JSON round trip (no numpy types).
+        text = json.dumps(sweep_to_summary(sweep))
+        assert "nethept-sim" in text

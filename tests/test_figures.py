@@ -1,0 +1,101 @@
+"""Smoke tests for the per-figure drivers (tiny parameters)."""
+
+import pytest
+
+from repro.experiments import figures
+
+
+@pytest.fixture(scope="module")
+def small_overrides():
+    return {name: 150 for name in ("nethept-sim", "epinions-sim")}
+
+
+class TestTable2:
+    def test_rows_cover_requested_datasets(self, small_overrides):
+        rows = figures.table2(names=list(small_overrides), n_override=small_overrides)
+        assert [r.dataset for r in rows] == list(small_overrides)
+        for row in rows:
+            assert row.n == 150
+            assert row.m > 0
+            assert row.lwcc_size <= row.n
+            assert row.paper_n > row.n  # stand-ins are scaled down
+
+
+class TestFigure3:
+    def test_distributions_sum_to_one(self, small_overrides):
+        dists = figures.figure3(names=list(small_overrides), n_override=small_overrides)
+        for name, dist in dists.items():
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_heavy_tail_present(self, small_overrides):
+        dists = figures.figure3(names=["nethept-sim"], n_override={"nethept-sim": 300})
+        degrees = dists["nethept-sim"]
+        assert max(degrees) >= 8  # some node far above the mean
+
+
+class TestThresholdSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return figures.threshold_sweep(
+            dataset="nethept-sim",
+            model_name="IC",
+            graph_n=150,
+            realizations=2,
+            algorithms=("ASTI", "ATEUC"),
+            eta_fractions=(0.05, 0.15),
+            max_samples=4000,
+            seed=1,
+        )
+
+    def test_figure4_series_shape(self, sweep):
+        seeds = sweep.series("ASTI", "seeds")
+        assert len(seeds) == 2
+        assert seeds[0] <= seeds[1]
+
+    def test_figure5_times_positive(self, sweep):
+        assert all(t > 0 for t in sweep.series("ASTI", "seconds"))
+
+    def test_figure9_spread_reaches_eta_for_asti(self, sweep):
+        spreads = sweep.series("ASTI", "spread")
+        assert all(s >= eta for s, eta in zip(spreads, sweep.eta_values))
+
+    def test_table3_cells(self, sweep):
+        cells = figures.table3(sweep)
+        assert len(cells) == 2
+        for cell in cells:
+            assert cell.rendered() == "N/A" or cell.ratio is not None
+
+    def test_figure6_lt_variant_runs(self):
+        sweep = figures.figure6(
+            dataset="nethept-sim",
+            graph_n=120,
+            realizations=2,
+            algorithms=("ASTI",),
+            eta_fractions=(0.05,),
+            max_samples=3000,
+            seed=2,
+        )
+        assert sweep.config.model_name == "LT"
+        assert sweep.series("ASTI", "seeds")[0] >= 1
+
+
+class TestFigure8:
+    def test_per_realization_spreads(self):
+        result = figures.figure8(
+            graph_n=150, realizations=4, eta_fraction=0.1, max_samples=4000, seed=3
+        )
+        assert len(result.asti_spreads) == 4
+        assert len(result.ateuc_spreads) == 4
+        assert result.asti_failures == 0  # adaptive always reaches eta
+        assert all(s >= result.eta for s in result.asti_spreads)
+
+
+class TestFigure10:
+    def test_marginal_spread_series(self):
+        result = figures.figure10(
+            graph_n=150, realizations=2, eta_fraction=0.2, max_samples=4000, seed=4
+        )
+        assert len(result.per_realization) == 2
+        means = result.mean_by_index()
+        assert len(means) >= 1
+        assert all(m >= 1 for m in means)

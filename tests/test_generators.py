@@ -1,0 +1,187 @@
+"""Unit tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import generators
+from repro.graph.analysis import largest_wcc_size
+
+
+class TestDeterministicStructures:
+    def test_path_graph(self):
+        g = generators.path_graph(4, probability=0.5)
+        assert g.n == 4
+        assert g.m == 3
+        assert g.has_edge(0, 1) and g.has_edge(2, 3)
+        assert not g.has_edge(3, 2)
+
+    def test_cycle_graph(self):
+        g = generators.cycle_graph(4)
+        assert g.m == 4
+        assert g.has_edge(3, 0)
+
+    def test_cycle_requires_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            generators.cycle_graph(1)
+
+    def test_star_outward(self):
+        g = generators.star_graph(5, outward=True)
+        assert g.out_degree(0) == 4
+        assert g.in_degree(0) == 0
+
+    def test_star_inward(self):
+        g = generators.star_graph(5, outward=False)
+        assert g.in_degree(0) == 4
+        assert g.out_degree(0) == 0
+
+    def test_complete_graph(self):
+        g = generators.complete_graph(4)
+        assert g.m == 12
+
+    def test_layered_dag(self):
+        g = generators.layered_dag(3, 2)
+        assert g.n == 6
+        assert g.m == 2 * 2 * 2  # two layer gaps x 2x2 bipartite
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(2, 0)
+
+    def test_paper_example_graph_structure(self):
+        g = generators.paper_example_graph()
+        assert g.n == 4
+        assert g.m == 4
+        assert g.edge_probability(0, 1) == pytest.approx(0.5)
+        assert g.edge_probability(1, 3) == pytest.approx(1.0)
+
+    def test_figure1_graph_structure(self):
+        g = generators.figure1_graph()
+        assert g.n == 6
+        assert g.m == 7
+        assert g.edge_probability(0, 3) == pytest.approx(0.9)
+
+
+class TestErdosRenyi:
+    def test_size_and_degree(self):
+        g = generators.erdos_renyi(200, expected_degree=5.0, seed=0)
+        assert g.n == 200
+        # Mean out-degree within generous tolerance of 5.
+        assert 3.0 < g.m / g.n < 7.0
+
+    def test_reproducible(self):
+        a = generators.erdos_renyi(100, 4.0, seed=9)
+        b = generators.erdos_renyi(100, 4.0, seed=9)
+        assert a == b
+
+    def test_no_self_loops(self):
+        g = generators.erdos_renyi(80, 6.0, seed=2)
+        src, dst, _ = g.edge_arrays()
+        assert not np.any(src == dst)
+
+    def test_undirected_mirrors_edges(self):
+        g = generators.erdos_renyi(60, 4.0, seed=3, directed=False)
+        src, dst, _ = g.edge_arrays()
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ConfigurationError):
+            generators.erdos_renyi(10, 0.0)
+        with pytest.raises(ConfigurationError):
+            generators.erdos_renyi(10, 100.0)
+
+
+class TestPreferentialAttachment:
+    def test_size(self):
+        g = generators.preferential_attachment(150, 2, seed=1)
+        assert g.n == 150
+        # Each of nodes 1..149 adds up to 2 edges.
+        assert g.m <= 2 * 149
+        assert g.m >= 149
+
+    def test_heavy_tail(self):
+        g = generators.preferential_attachment(400, 2, seed=5, directed=False)
+        degrees = g.in_degrees() + g.out_degrees()
+        # A hub should exist: max degree much larger than the median.
+        assert degrees.max() > 5 * np.median(degrees)
+
+    def test_undirected_mirrors_edges(self):
+        g = generators.preferential_attachment(50, 1, seed=0, directed=False)
+        src, dst, _ = g.edge_arrays()
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_reproducible(self):
+        a = generators.preferential_attachment(80, 2, seed=4)
+        b = generators.preferential_attachment(80, 2, seed=4)
+        assert a == b
+
+    def test_connected_when_undirected(self):
+        g = generators.preferential_attachment(120, 2, seed=6, directed=False)
+        assert largest_wcc_size(g) == 120
+
+    def test_invalid_edges_per_node(self):
+        with pytest.raises(ConfigurationError):
+            generators.preferential_attachment(10, 0)
+
+
+class TestChungLu:
+    def test_size_and_average_degree(self):
+        g = generators.chung_lu_power_law(400, average_degree=8.0, seed=0)
+        assert g.n == 400
+        assert 4.0 < g.m / g.n < 12.0
+
+    def test_reproducible(self):
+        a = generators.chung_lu_power_law(150, 5.0, seed=11)
+        b = generators.chung_lu_power_law(150, 5.0, seed=11)
+        assert a == b
+
+    def test_heavy_tail(self):
+        g = generators.chung_lu_power_law(600, 8.0, exponent=2.2, seed=3)
+        degrees = g.in_degrees() + g.out_degrees()
+        assert degrees.max() > 4 * max(1.0, np.median(degrees))
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ConfigurationError):
+            generators.chung_lu_power_law(50, 4.0, exponent=0.9)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ConfigurationError):
+            generators.chung_lu_power_law(50, 0.0)
+
+
+class TestAttachFragments:
+    def test_pads_to_total(self):
+        core = generators.preferential_attachment(40, 2, seed=0, directed=False)
+        g = generators.attach_fragments(core, 100, seed=1, directed=False)
+        assert g.n == 100
+
+    def test_core_edges_preserved(self):
+        core = generators.path_graph(3)
+        g = generators.attach_fragments(core, 10, seed=1, directed=True)
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_no_isolated_nodes_directed(self):
+        core = generators.cycle_graph(4)
+        g = generators.attach_fragments(core, 30, seed=2, directed=True)
+        total_degree = g.in_degrees() + g.out_degrees()
+        assert total_degree.min() >= 1
+
+    def test_directed_fragments_have_indegree(self):
+        # Weighted cascade divides by indegree, so fragment nodes need >= 1.
+        core = generators.cycle_graph(4)
+        g = generators.attach_fragments(core, 30, seed=2, directed=True)
+        assert g.in_degrees().min() >= 1
+
+    def test_fragments_disconnected_from_core(self):
+        core = generators.cycle_graph(4)
+        g = generators.attach_fragments(core, 20, seed=3, directed=True)
+        assert largest_wcc_size(g) <= max(4, 4)  # core stays the largest WCC
+
+    def test_identity_when_total_equals_core(self):
+        core = generators.cycle_graph(5)
+        assert generators.attach_fragments(core, 5, seed=0) == core
+
+    def test_total_below_core_rejected(self):
+        core = generators.cycle_graph(5)
+        with pytest.raises(ConfigurationError):
+            generators.attach_fragments(core, 3, seed=0)

@@ -1,0 +1,51 @@
+"""Unit tests for the heuristic baselines."""
+
+import pytest
+
+from repro.baselines.heuristics import DegreeSelector, degree_seed_minimization
+from repro.core.asti import run_adaptive_policy
+from repro.errors import ConfigurationError
+from repro.graph import generators
+from repro.graph.residual import initial_residual
+
+
+class TestDegreeSelector:
+    def test_picks_highest_degree(self, rng):
+        g = generators.star_graph(10, probability=1.0)
+        residual = initial_residual(g, eta=5)
+        assert DegreeSelector().select(residual, rng).nodes == [0]
+
+    def test_adaptive_run_reaches_target(self, ic_model, small_social_damped):
+        result = run_adaptive_policy(
+            small_social_damped, 20, ic_model, DegreeSelector(), seed=0
+        )
+        assert result.spread >= 20
+
+    def test_gain_reported(self, rng):
+        g = generators.star_graph(10, probability=1.0)
+        residual = initial_residual(g, eta=5)
+        d = DegreeSelector().select(residual, rng).diagnostics
+        assert d.estimated_gain == pytest.approx(9.0)
+
+
+class TestDegreeSeedMinimization:
+    def test_star_solved_with_hub(self, ic_model):
+        g = generators.star_graph(20, probability=1.0)
+        result = degree_seed_minimization(g, ic_model, eta=10, samples=30, seed=0)
+        assert result.seeds[0] == 0
+        assert result.seed_count == 1
+        assert result.estimated_spread >= 10
+
+    def test_multiple_seeds_when_needed(self, ic_model, two_components):
+        result = degree_seed_minimization(
+            two_components, ic_model, eta=4, samples=30, seed=1
+        )
+        assert result.seed_count == 2
+
+    def test_validation(self, ic_model, path3):
+        with pytest.raises(ConfigurationError):
+            degree_seed_minimization(path3, ic_model, eta=0)
+        with pytest.raises(ConfigurationError):
+            degree_seed_minimization(path3, ic_model, eta=7)
+        with pytest.raises(ConfigurationError):
+            degree_seed_minimization(path3, ic_model, eta=2, samples=0)

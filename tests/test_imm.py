@@ -1,0 +1,66 @@
+"""Unit tests for the IMM baseline."""
+
+import pytest
+
+from repro.baselines.imm import imm_diagnostics, imm_influence_maximization
+from repro.errors import ConfigurationError
+from repro.graph import generators
+
+
+class TestImm:
+    def test_star_hub_selected(self, ic_model):
+        g = generators.star_graph(20, probability=1.0)
+        result = imm_influence_maximization(g, ic_model, k=1, seed=0, max_samples=4000)
+        assert result.seeds == [0]
+        assert result.estimated_spread == pytest.approx(20.0, rel=0.05)
+
+    def test_k_seeds_distinct(self, ic_model, small_social_damped):
+        result = imm_influence_maximization(
+            small_social_damped, ic_model, k=4, seed=1, max_samples=4000
+        )
+        assert len(result.seeds) == 4
+        assert len(set(result.seeds)) == 4
+
+    def test_quality_indicator_in_unit_interval(self, ic_model, small_social_damped):
+        result = imm_influence_maximization(
+            small_social_damped, ic_model, k=2, seed=2, max_samples=4000
+        )
+        assert 0.0 <= result.certified_ratio <= 1.0
+
+    def test_agrees_with_opim_on_spread(self, ic_model, small_social_damped):
+        from repro.baselines.opim import opim_influence_maximization
+
+        imm = imm_influence_maximization(
+            small_social_damped, ic_model, k=3, seed=3, max_samples=6000
+        )
+        opim = opim_influence_maximization(
+            small_social_damped, ic_model, k=3, seed=3, max_samples=6000
+        )
+        # Two independent solvers for the same problem: spreads must agree
+        # within sampling noise.
+        assert imm.estimated_spread == pytest.approx(opim.estimated_spread, rel=0.3)
+
+    def test_validation(self, ic_model, path3):
+        with pytest.raises(ConfigurationError):
+            imm_influence_maximization(path3, ic_model, k=0)
+        with pytest.raises(ConfigurationError):
+            imm_influence_maximization(path3, ic_model, k=9)
+        with pytest.raises(ConfigurationError):
+            imm_influence_maximization(path3, ic_model, k=1, epsilon=0.0)
+
+
+class TestDiagnostics:
+    def test_schedule_reported(self, ic_model, small_social_damped):
+        diag = imm_diagnostics(
+            small_social_damped, ic_model, k=2, seed=4, max_samples=4000
+        )
+        assert diag.geometric_rounds >= 1
+        assert diag.phase1_samples >= 1
+        assert diag.phase2_samples >= 1
+        assert diag.lower_bound >= 1.0
+
+    def test_lower_bound_below_n(self, ic_model, small_social_damped):
+        diag = imm_diagnostics(
+            small_social_damped, ic_model, k=2, seed=5, max_samples=4000
+        )
+        assert diag.lower_bound <= small_social_damped.n

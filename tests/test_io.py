@@ -1,0 +1,89 @@
+"""Unit tests for edge-list and npz IO."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators, weighting
+from repro.graph.io import (
+    edge_list_to_string,
+    load_npz,
+    read_edge_list,
+    save_npz,
+    write_edge_list,
+)
+
+
+@pytest.fixture
+def weighted_graph():
+    return weighting.weighted_cascade(
+        generators.preferential_attachment(30, 2, seed=0, directed=False)
+    )
+
+
+class TestTextRoundTrip:
+    def test_round_trip_preserves_graph(self, weighted_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edge_list(weighted_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == weighted_graph
+
+    def test_round_trip_via_handles(self, weighted_graph):
+        buffer = io.StringIO()
+        write_edge_list(weighted_graph, buffer)
+        buffer.seek(0)
+        assert read_edge_list(buffer) == weighted_graph
+
+    def test_header_carries_node_count(self, tmp_path):
+        # A trailing isolated node survives because of the header.
+        g = generators.path_graph(3)
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges(5, list(g.edges()))  # nodes 3, 4 isolated
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path).n == 5
+
+    def test_missing_probability_defaults(self):
+        text = "0 1\n1 2 0.25\n"
+        g = read_edge_list(io.StringIO(text), default_probability=0.5)
+        assert g.edge_probability(0, 1) == pytest.approx(0.5)
+        assert g.edge_probability(1, 2) == pytest.approx(0.25)
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# a comment\n\n0 1 0.5\n"
+        g = read_edge_list(io.StringIO(text))
+        assert g.m == 1
+
+    def test_explicit_n_parameter(self):
+        g = read_edge_list(io.StringIO("0 1 0.5\n"), n=10)
+        assert g.n == 10
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(GraphError):
+            read_edge_list(io.StringIO("0 1 0.5 extra junk\n"))
+
+    def test_unparseable_numbers_rejected(self):
+        with pytest.raises(GraphError):
+            read_edge_list(io.StringIO("zero one\n"))
+
+    def test_edge_list_to_string(self, weighted_graph):
+        text = edge_list_to_string(weighted_graph)
+        assert text.startswith("# nodes 30")
+        assert len(text.splitlines()) == weighted_graph.m + 1
+
+
+class TestNpzRoundTrip:
+    def test_round_trip(self, weighted_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_npz(weighted_graph, path)
+        assert load_npz(path) == weighted_graph
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(path, n=np.array([3]))
+        with pytest.raises(GraphError):
+            load_npz(path)

@@ -1,0 +1,81 @@
+"""Unit tests for derived metrics (Table 3 machinery)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import AlgorithmOutcome, RunObservation
+from repro.experiments.metrics import (
+    improvement_ratio,
+    overshoot_fraction,
+    speedup,
+    table3_cell,
+)
+
+
+def outcome(name, eta, seed_counts, achieved):
+    out = AlgorithmOutcome(algorithm=name, eta=eta)
+    for i, (count, ok) in enumerate(zip(seed_counts, achieved)):
+        out.runs.append(
+            RunObservation(
+                realization_index=i,
+                seed_count=count,
+                spread=eta if ok else eta - 1,
+                achieved=ok,
+                seconds=0.1,
+            )
+        )
+    return out
+
+
+class TestImprovementRatio:
+    def test_paper_style_value(self):
+        # "ATEUC selects 65.7% more nodes": 193.8 vs 116.95.
+        assert improvement_ratio(193.8, 116.95) == pytest.approx(0.657, abs=0.001)
+
+    def test_zero_improvement(self):
+        assert improvement_ratio(10, 10) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            improvement_ratio(5, 0)
+
+
+class TestTable3Cell:
+    def test_ratio_when_feasible(self):
+        ateuc = outcome("ATEUC", 10, [14, 14], [True, True])
+        asti = outcome("ASTI", 10, [10, 10], [True, True])
+        cell = table3_cell(0.1, ateuc, asti)
+        assert cell.ratio == pytest.approx(0.4)
+        assert cell.rendered() == "40.0%"
+
+    def test_na_when_any_realization_fails(self):
+        ateuc = outcome("ATEUC", 10, [14, 14], [True, False])
+        asti = outcome("ASTI", 10, [10, 10], [True, True])
+        cell = table3_cell(0.1, ateuc, asti)
+        assert cell.ratio is None
+        assert cell.rendered() == "N/A"
+        assert not cell.baseline_feasible
+
+
+class TestOvershoot:
+    def test_exact_target_no_overshoot(self):
+        assert overshoot_fraction(100, 100) == 0.0
+
+    def test_fifty_percent(self):
+        assert overshoot_fraction(150, 100) == pytest.approx(0.5)
+
+    def test_undershoot_clamped(self):
+        assert overshoot_fraction(80, 100) == 0.0
+
+    def test_invalid_eta(self):
+        with pytest.raises(ConfigurationError):
+            overshoot_fraction(10, 0)
+
+
+class TestSpeedup:
+    def test_faster_candidate(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            speedup(1.0, 0.0)

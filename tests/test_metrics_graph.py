@@ -1,0 +1,155 @@
+"""Unit tests for the structural graph metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, NodeNotFoundError
+from repro.graph import generators
+from repro.graph.builder import GraphBuilder
+from repro.graph.metrics import (
+    average_clustering_coefficient,
+    estimated_average_distance,
+    hop_histogram,
+    largest_scc_size,
+    reciprocity,
+    strongly_connected_components,
+    structural_profile,
+)
+
+
+class TestSCC:
+    def test_cycle_is_one_scc(self):
+        g = generators.cycle_graph(6)
+        labels = strongly_connected_components(g)
+        assert len(np.unique(labels)) == 1
+        assert largest_scc_size(g) == 6
+
+    def test_path_is_singletons(self):
+        g = generators.path_graph(5)
+        labels = strongly_connected_components(g)
+        assert len(np.unique(labels)) == 5
+        assert largest_scc_size(g) == 1
+
+    def test_two_cycles_bridge(self):
+        # Cycle {0,1,2} -> bridge -> cycle {3,4,5}: two SCCs of size 3.
+        builder = GraphBuilder(6)
+        builder.add_path([0, 1, 2], 1.0).add_edge(2, 0, 1.0)
+        builder.add_path([3, 4, 5], 1.0).add_edge(5, 3, 1.0)
+        builder.add_edge(2, 3, 1.0)
+        g = builder.build()
+        labels = strongly_connected_components(g)
+        assert len(np.unique(labels)) == 2
+        assert largest_scc_size(g) == 3
+
+    def test_mirrored_graph_fully_strongly_connected(self):
+        g = generators.preferential_attachment(80, 2, seed=0, directed=False)
+        assert largest_scc_size(g) == 80
+
+    def test_deep_chain_no_recursion_limit(self):
+        # The iterative Tarjan must handle paths longer than the Python
+        # recursion limit.
+        g = generators.path_graph(5000)
+        assert largest_scc_size(g) == 1
+
+    def test_empty_graph(self):
+        from repro.graph.digraph import DiGraph
+
+        assert largest_scc_size(DiGraph.from_edges(0, [])) == 0
+
+
+class TestReciprocity:
+    def test_mirrored_is_one(self):
+        g = generators.preferential_attachment(40, 2, seed=1, directed=False)
+        assert reciprocity(g) == pytest.approx(1.0)
+
+    def test_dag_is_zero(self):
+        g = generators.path_graph(5)
+        assert reciprocity(g) == 0.0
+
+    def test_half_mutual(self):
+        builder = GraphBuilder(3)
+        builder.add_edge(0, 1, 0.5)
+        builder.add_edge(1, 0, 0.5)
+        builder.add_edge(0, 2, 0.5)
+        builder.add_edge(2, 1, 0.5)
+        assert reciprocity(builder.build()) == pytest.approx(0.5)
+
+    def test_empty(self):
+        from repro.graph.digraph import DiGraph
+
+        assert reciprocity(DiGraph.from_edges(3, [])) == 0.0
+
+
+class TestClustering:
+    def test_triangle_is_one(self):
+        builder = GraphBuilder(3)
+        builder.add_undirected_edge(0, 1, 0.5)
+        builder.add_undirected_edge(1, 2, 0.5)
+        builder.add_undirected_edge(0, 2, 0.5)
+        assert average_clustering_coefficient(builder.build()) == pytest.approx(1.0)
+
+    def test_star_is_zero(self):
+        g = generators.star_graph(6, probability=1.0)
+        assert average_clustering_coefficient(g) == 0.0
+
+    def test_sampling_close_to_exact(self):
+        g = generators.preferential_attachment(120, 2, seed=2, directed=False)
+        exact = average_clustering_coefficient(g)
+        sampled = average_clustering_coefficient(g, sample_nodes=80, seed=0)
+        assert sampled == pytest.approx(exact, abs=0.15)
+
+
+class TestHops:
+    def test_path_histogram(self):
+        g = generators.path_graph(4)
+        assert hop_histogram(g, 0) == [1, 1, 1, 1]
+        assert hop_histogram(g, 3) == [1]
+
+    def test_star_histogram(self):
+        g = generators.star_graph(6, probability=1.0)
+        assert hop_histogram(g, 0) == [1, 5]
+
+    def test_max_hops_truncates(self):
+        g = generators.path_graph(10)
+        assert hop_histogram(g, 0, max_hops=3) == [1, 1, 1, 1]
+
+    def test_invalid_source(self):
+        g = generators.path_graph(3)
+        with pytest.raises(NodeNotFoundError):
+            hop_histogram(g, 7)
+
+
+class TestAverageDistance:
+    def test_small_world_range(self):
+        g = generators.preferential_attachment(300, 2, seed=3, directed=False)
+        distance = estimated_average_distance(g, samples=20, seed=0)
+        assert 1.0 < distance < 8.0
+
+    def test_edgeless_is_nan(self):
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges(5, [])
+        assert np.isnan(estimated_average_distance(g, samples=4, seed=0))
+
+    def test_invalid_samples(self):
+        g = generators.path_graph(3)
+        with pytest.raises(GraphError):
+            estimated_average_distance(g, samples=0)
+
+
+class TestStructuralProfile:
+    def test_profile_bundle(self):
+        g = generators.preferential_attachment(100, 2, seed=4, directed=False)
+        profile = structural_profile(g, clustering_sample=50, distance_samples=8)
+        assert profile.n == 100
+        assert profile.largest_scc == 100  # mirrored edges
+        assert profile.reciprocity == pytest.approx(1.0)
+        assert 0.0 <= profile.clustering <= 1.0
+        assert profile.average_distance > 1.0
+
+    def test_directed_dataset_less_reciprocal(self):
+        from repro.experiments import datasets
+
+        directed = datasets.load_dataset("epinions-sim", n=200, seed=0)
+        undirected = datasets.load_dataset("nethept-sim", n=200, seed=0)
+        assert reciprocity(directed) < reciprocity(undirected)

@@ -1,0 +1,78 @@
+"""Unit tests for Monte-Carlo spread estimation."""
+
+import pytest
+
+from repro.diffusion.montecarlo import (
+    estimate_activation_probabilities,
+    estimate_spread,
+    estimate_truncated_spread,
+)
+from repro.errors import ConfigurationError
+from repro.graph import generators
+
+
+class TestEstimateSpread:
+    def test_deterministic_graph_exact(self, ic_model, path3, rng):
+        est = estimate_spread(path3, ic_model, [0], samples=20, seed=rng)
+        assert est.mean == pytest.approx(3.0)
+        assert est.std_error == 0.0
+
+    def test_two_hop_half_probability(self, ic_model, rng):
+        # 0 -> 1 with p=0.5: E[I({0})] = 1.5.
+        g = generators.path_graph(2, probability=0.5)
+        est = estimate_spread(g, ic_model, [0], samples=3000, seed=rng)
+        assert est.mean == pytest.approx(1.5, abs=0.06)
+
+    def test_confidence_interval_brackets_truth(self, ic_model, rng):
+        g = generators.path_graph(2, probability=0.5)
+        est = estimate_spread(g, ic_model, [0], samples=2000, seed=rng)
+        low, high = est.confidence_interval()
+        assert low <= 1.5 <= high
+
+    def test_invalid_samples(self, ic_model, path3):
+        with pytest.raises(ConfigurationError):
+            estimate_spread(path3, ic_model, [0], samples=0)
+
+
+class TestEstimateTruncatedSpread:
+    def test_truncation_applied(self, ic_model, star6, rng):
+        est = estimate_truncated_spread(star6, ic_model, [0], eta=3, samples=50, seed=rng)
+        assert est.mean == pytest.approx(3.0)
+
+    def test_no_truncation_when_eta_large(self, ic_model, star6, rng):
+        est = estimate_truncated_spread(star6, ic_model, [0], eta=6, samples=50, seed=rng)
+        assert est.mean == pytest.approx(6.0)
+
+    def test_matches_paper_example(self, ic_model, paper_example, rng):
+        # Example 2.3: E[Gamma(v1)] = 1.75 at eta = 2 while E[I(v1)] = 2.75.
+        truncated = estimate_truncated_spread(
+            paper_example, ic_model, [0], eta=2, samples=6000, seed=rng
+        )
+        spread = estimate_spread(paper_example, ic_model, [0], samples=6000, seed=rng)
+        assert truncated.mean == pytest.approx(1.75, abs=0.05)
+        assert spread.mean == pytest.approx(2.75, abs=0.08)
+
+    def test_invalid_eta(self, ic_model, path3):
+        with pytest.raises(ConfigurationError):
+            estimate_truncated_spread(path3, ic_model, [0], eta=0, samples=10)
+
+
+class TestActivationProbabilities:
+    def test_certain_graph(self, ic_model, path3, rng):
+        probs = estimate_activation_probabilities(path3, ic_model, [0], samples=20, seed=rng)
+        assert probs.tolist() == [1.0, 1.0, 1.0]
+
+    def test_probabilities_bounded(self, ic_model, small_social, rng):
+        probs = estimate_activation_probabilities(
+            small_social, ic_model, [0], samples=30, seed=rng
+        )
+        assert (probs >= 0).all() and (probs <= 1).all()
+        assert probs[0] == 1.0
+
+    def test_lt_model_supported(self, lt_model, path5_half, rng):
+        probs = estimate_activation_probabilities(
+            path5_half, lt_model, [0], samples=200, seed=rng
+        )
+        # Monotone decay along the chain.
+        assert probs[0] == 1.0
+        assert probs[1] > probs[3]

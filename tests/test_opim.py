@@ -1,0 +1,73 @@
+"""Unit tests for the OPIM-style IM machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.opim import OpimNodeSelector, opim_influence_maximization
+from repro.errors import ConfigurationError
+from repro.graph import generators
+from repro.graph.residual import initial_residual
+
+
+class TestOpimNodeSelector:
+    def test_picks_star_hub(self, ic_model, rng):
+        g = generators.star_graph(20, probability=1.0)
+        residual = initial_residual(g, eta=5)
+        selection = OpimNodeSelector(ic_model, epsilon=0.5).select(residual, rng)
+        assert selection.nodes == [0]
+
+    def test_single_node_shortcut(self, ic_model, rng):
+        residual = initial_residual(generators.path_graph(1), eta=1)
+        selection = OpimNodeSelector(ic_model).select(residual, rng)
+        assert selection.nodes == [0]
+
+    def test_vanilla_objective_prefers_v1_on_paper_example(self, ic_model):
+        # The flip side of Example 2.3: *without* truncation, v1 wins —
+        # which is exactly why AdaptIM lacks the ASM guarantee.
+        g = generators.paper_example_graph()
+        residual = initial_residual(g, eta=2)
+        picks = set()
+        for seed in range(8):
+            rng = np.random.default_rng(100 + seed)
+            picks.add(OpimNodeSelector(ic_model, epsilon=0.3).select(residual, rng).nodes[0])
+        assert 0 in picks  # v1 gets picked under the vanilla objective
+        assert picks <= {0}
+
+    def test_diagnostics(self, ic_model, small_social_damped, rng):
+        residual = initial_residual(small_social_damped, eta=12)
+        d = OpimNodeSelector(ic_model, epsilon=0.5).select(residual, rng).diagnostics
+        assert d.samples_generated > 0
+        assert d.estimated_gain > 0
+
+
+class TestOpimInfluenceMaximization:
+    def test_star_hub_selected_first(self, ic_model):
+        g = generators.star_graph(15, probability=1.0)
+        result = opim_influence_maximization(g, ic_model, k=2, seed=0)
+        assert 0 in result.seeds
+        assert result.estimated_spread >= 14.0
+
+    def test_k_validation(self, ic_model, path3):
+        with pytest.raises(ConfigurationError):
+            opim_influence_maximization(path3, ic_model, k=0)
+        with pytest.raises(ConfigurationError):
+            opim_influence_maximization(path3, ic_model, k=9)
+
+    def test_certificate_reported(self, ic_model, small_social):
+        result = opim_influence_maximization(
+            small_social, ic_model, k=3, epsilon=0.5, seed=1
+        )
+        assert len(result.seeds) == 3
+        assert result.samples > 0
+        assert 0.0 <= result.certified_ratio <= 1.0
+
+    def test_spread_monotone_in_k(self, ic_model, small_social):
+        r1 = opim_influence_maximization(small_social, ic_model, k=1, seed=2)
+        r3 = opim_influence_maximization(small_social, ic_model, k=3, seed=2)
+        assert r3.estimated_spread >= r1.estimated_spread * 0.9
+
+    def test_max_samples_cap(self, ic_model, small_social):
+        result = opim_influence_maximization(
+            small_social, ic_model, k=2, seed=3, max_samples=128
+        )
+        assert result.samples <= 260  # one doubling past the cap boundary

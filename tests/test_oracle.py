@@ -1,0 +1,75 @@
+"""Unit tests for the oracle-greedy validators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.oracle import ExactOracleSelector, MonteCarloOracleSelector
+from repro.core.asti import run_adaptive_policy
+from repro.graph import generators
+from repro.graph.residual import initial_residual
+
+
+class TestExactOracle:
+    def test_truncated_picks_v2_or_v3_on_paper_example(self, ic_model, rng):
+        # Example 2.3, by exact enumeration: truncated expected spreads are
+        # (1.75, 2, 2, 1), so the oracle must avoid v1.
+        g = generators.paper_example_graph()
+        residual = initial_residual(g, eta=2)
+        picked = ExactOracleSelector(ic_model, truncated=True).select(residual, rng)
+        assert picked.nodes[0] in (1, 2)
+        assert picked.diagnostics.estimated_gain == pytest.approx(2.0)
+
+    def test_vanilla_picks_v1_on_paper_example(self, ic_model, rng):
+        g = generators.paper_example_graph()
+        residual = initial_residual(g, eta=2)
+        picked = ExactOracleSelector(ic_model, truncated=False).select(residual, rng)
+        assert picked.nodes[0] == 0
+        assert picked.diagnostics.estimated_gain == pytest.approx(2.75)
+
+    def test_truncated_oracle_never_needs_more_seeds_in_expectation(self, ic_model):
+        """The paper's Example 2.3 punchline, end to end.
+
+        Truncated-greedy expects 1 seed (v2/v3 always hit eta = 2); vanilla
+        greedy expects 1.25 (v1 fails on phi_4 with probability 1/4).
+        """
+        g = generators.paper_example_graph()
+        truncated_counts = []
+        vanilla_counts = []
+        for i in range(40):
+            phi = ic_model.sample_realization(g, seed=1000 + i)
+            t = run_adaptive_policy(
+                g, 2, ic_model, ExactOracleSelector(ic_model, truncated=True),
+                realization=phi, seed=i,
+            )
+            v = run_adaptive_policy(
+                g, 2, ic_model, ExactOracleSelector(ic_model, truncated=False),
+                realization=phi, seed=i,
+            )
+            truncated_counts.append(t.seed_count)
+            vanilla_counts.append(v.seed_count)
+        assert np.mean(truncated_counts) == pytest.approx(1.0)
+        assert np.mean(vanilla_counts) > np.mean(truncated_counts)
+
+
+class TestMonteCarloOracle:
+    def test_agrees_with_exact_on_paper_example(self, ic_model, rng):
+        g = generators.paper_example_graph()
+        residual = initial_residual(g, eta=2)
+        picked = MonteCarloOracleSelector(ic_model, samples=800).select(residual, rng)
+        assert picked.nodes[0] in (1, 2)
+
+    def test_vanilla_mode(self, ic_model, rng):
+        g = generators.paper_example_graph()
+        residual = initial_residual(g, eta=2)
+        picked = MonteCarloOracleSelector(
+            ic_model, samples=800, truncated=False
+        ).select(residual, rng)
+        assert picked.nodes[0] == 0
+
+    def test_full_run_on_star(self, ic_model):
+        g = generators.star_graph(12, probability=1.0)
+        result = run_adaptive_policy(
+            g, 6, ic_model, MonteCarloOracleSelector(ic_model, samples=50), seed=0
+        )
+        assert result.seed_count == 1
+        assert result.seeds == [0]

@@ -1,0 +1,65 @@
+"""Unit tests for ASCII line plots."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.plotting import ascii_line_plot
+
+
+class TestAsciiLinePlot:
+    def test_basic_structure(self):
+        text = ascii_line_plot(
+            [0.01, 0.05, 0.1],
+            {"ASTI": [2, 5, 9], "ATEUC": [3, 7, 14]},
+            title="Figure 4",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Figure 4"
+        assert "A=ASTI" in lines[-1]
+        assert "B=ATEUC" in lines[-1]
+        assert any("A" in line for line in lines[1:-3])
+        assert any("+" in line for line in lines)
+
+    def test_extremes_on_border_rows(self):
+        text = ascii_line_plot([0, 1], {"y": [1.0, 10.0]})
+        lines = text.splitlines()
+        assert "10.00" in lines[0]   # top label = max
+        # bottom plot row carries the min label
+        assert any("1.00" in line for line in lines)
+
+    def test_log_scale_labels(self):
+        text = ascii_line_plot([0, 1], {"t": [0.01, 100.0]}, log_y=True)
+        assert "1e" in text
+
+    def test_log_scale_handles_nonpositive(self):
+        text = ascii_line_plot([0, 1, 2], {"t": [0.0, 0.5, 5.0]}, log_y=True)
+        assert text  # clamped, no math domain error
+
+    def test_single_point(self):
+        text = ascii_line_plot([1], {"y": [3.0]})
+        assert "A" in text
+
+    def test_many_series_markers(self):
+        series = {f"s{i}": [i, i + 1] for i in range(5)}
+        text = ascii_line_plot([0, 1], series)
+        for marker in "ABCDE":
+            assert marker in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_line_plot([0, 1], {})
+        with pytest.raises(ConfigurationError):
+            ascii_line_plot([0, 1], {"y": [1]})  # length mismatch
+        with pytest.raises(ConfigurationError):
+            ascii_line_plot([0], {"y": [1]}, width=4)
+        with pytest.raises(ConfigurationError):
+            ascii_line_plot([], {"y": []})
+
+    def test_y_label_line(self):
+        text = ascii_line_plot([0, 1], {"y": [1, 2]}, y_label="seeds")
+        assert text.splitlines()[0] == "seeds"
+
+    def test_flat_series(self):
+        # Zero span must not divide by zero.
+        text = ascii_line_plot([0, 1, 2], {"y": [5, 5, 5]})
+        assert "A" in text

@@ -1,0 +1,47 @@
+"""Unit tests for the selector abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import (
+    FirstNodeSelector,
+    RandomNodeSelector,
+    Selection,
+    SelectionDiagnostics,
+)
+from repro.graph import generators
+from repro.graph.residual import initial_residual
+
+
+class TestSelection:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            Selection(nodes=[])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Selection(nodes=[1, 1])
+
+    def test_default_diagnostics(self):
+        s = Selection(nodes=[3])
+        assert s.diagnostics == SelectionDiagnostics()
+
+    def test_diagnostics_carried(self):
+        d = SelectionDiagnostics(samples_generated=5, iterations=2)
+        s = Selection(nodes=[0], diagnostics=d)
+        assert s.diagnostics.samples_generated == 5
+
+
+class TestBuiltinSelectors:
+    def test_first_node(self, rng):
+        res = initial_residual(generators.path_graph(4), eta=2)
+        assert FirstNodeSelector().select(res, rng).nodes == [0]
+
+    def test_random_node_in_range(self, rng):
+        res = initial_residual(generators.path_graph(10), eta=2)
+        for _ in range(20):
+            picked = RandomNodeSelector().select(res, rng).nodes[0]
+            assert 0 <= picked < 10
+
+    def test_repr_mentions_name(self):
+        assert "first-node" in repr(FirstNodeSelector())

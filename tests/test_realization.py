@@ -1,0 +1,92 @@
+"""Unit tests for live-edge realizations."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.realization import ICRealization, LTRealization
+from repro.errors import NodeNotFoundError
+from repro.graph import generators
+
+
+class TestICRealization:
+    def test_all_live(self, path3):
+        phi = ICRealization(path3, np.ones(path3.m, dtype=bool))
+        assert phi.spread([0]) == 3
+        assert phi.is_edge_live(0, 1)
+
+    def test_all_blocked(self, path3):
+        phi = ICRealization(path3, np.zeros(path3.m, dtype=bool))
+        assert phi.spread([0]) == 1
+        assert not phi.is_edge_live(0, 1)
+
+    def test_partial(self, path3):
+        # Edges are out-CSR ordered: (0->1), (1->2).  Block the second.
+        phi = ICRealization(path3, np.array([True, False]))
+        assert phi.reachable_from([0]).tolist() == [True, True, False]
+
+    def test_truncated_spread(self, star6):
+        phi = ICRealization(star6, np.ones(star6.m, dtype=bool))
+        assert phi.truncated_spread([0], eta=4) == 4
+        assert phi.truncated_spread([0], eta=10) == 6
+
+    def test_allowed_mask_blocks_traversal(self, path3):
+        phi = ICRealization(path3, np.ones(path3.m, dtype=bool))
+        allowed = np.array([True, False, True])
+        # Node 1 is off-limits, so the cascade cannot pass through it.
+        reached = phi.reachable_from([0], allowed=allowed)
+        assert reached.tolist() == [True, False, False]
+
+    def test_seed_outside_allowed_is_inert(self, path3):
+        phi = ICRealization(path3, np.ones(path3.m, dtype=bool))
+        allowed = np.array([False, True, True])
+        reached = phi.reachable_from([0], allowed=allowed)
+        assert not reached.any()
+
+    def test_bad_mask_shape(self, path3):
+        with pytest.raises(ValueError):
+            ICRealization(path3, np.ones(5, dtype=bool))
+
+    def test_bad_seed(self, path3):
+        phi = ICRealization(path3, np.ones(path3.m, dtype=bool))
+        with pytest.raises(NodeNotFoundError):
+            phi.spread([42])
+
+    def test_live_edge_count(self, path3):
+        phi = ICRealization(path3, np.array([True, False]))
+        assert phi.live_edge_count() == 1
+
+
+class TestLTRealization:
+    def test_chain_choices(self, path3):
+        phi = LTRealization(path3, np.array([-1, 0, 1]))
+        assert phi.spread([0]) == 3
+        assert phi.is_edge_live(0, 1)
+        assert not phi.is_edge_live(1, 0)
+
+    def test_no_choice_blocks(self, path3):
+        phi = LTRealization(path3, np.array([-1, -1, 1]))
+        assert phi.reachable_from([0]).tolist() == [True, False, False]
+
+    def test_allowed_mask(self, path3):
+        phi = LTRealization(path3, np.array([-1, 0, 1]))
+        allowed = np.array([True, False, True])
+        assert phi.reachable_from([0], allowed=allowed).tolist() == [True, False, False]
+
+    def test_truncated_spread(self, path3):
+        phi = LTRealization(path3, np.array([-1, 0, 1]))
+        assert phi.truncated_spread([0], eta=2) == 2
+
+    def test_bad_shape(self, path3):
+        with pytest.raises(ValueError):
+            LTRealization(path3, np.array([-1, 0]))
+
+    def test_live_edge_count(self, path3):
+        phi = LTRealization(path3, np.array([-1, 0, -1]))
+        assert phi.live_edge_count() == 1
+
+    def test_branching_structure(self):
+        # Star: hub 0 -> leaves; each leaf chose the hub.
+        g = generators.star_graph(4, probability=1.0)
+        phi = LTRealization(g, np.array([-1, 0, 0, 0]))
+        assert phi.spread([0]) == 4
+        assert phi.spread([1]) == 1

@@ -1,0 +1,62 @@
+"""Unit tests for ASCII report rendering."""
+
+import pytest
+
+from repro.experiments.report import format_histogram, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["name", "n"], [["nethept", 1200], ["youtube", 2400]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "nethept" in lines[2]
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Table 2")
+        assert text.splitlines()[0] == "Table 2"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.142" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_one_column_per_series(self):
+        text = format_series(
+            "eta/n",
+            [0.01, 0.05],
+            {"ASTI": [3, 8], "ATEUC": [5, 11]},
+            title="Figure 4(a)",
+        )
+        lines = text.splitlines()
+        assert "ASTI" in lines[1] and "ATEUC" in lines[1]
+        assert len(lines) == 2 + 2 + 1  # title + header + rule + 2 rows
+
+    def test_precision(self):
+        text = format_series("x", [1], {"y": [0.123456]}, precision=4)
+        assert "0.1235" in text
+
+
+class TestFormatHistogram:
+    def test_log_binning(self):
+        counts = {1: 0.5, 2: 0.2, 3: 0.1, 8: 0.05, 100: 0.01}
+        text = format_histogram(counts, title="degrees")
+        assert text.splitlines()[0] == "degrees"
+        assert "deg~" in text
+        assert "#" in text
+
+    def test_empty(self):
+        assert format_histogram({}, title="empty") == "empty"
+
+    def test_bar_lengths_scale(self):
+        counts = {1: 0.8, 64: 0.01}
+        lines = format_histogram(counts).splitlines()
+        big = lines[0].count("#")
+        small = lines[-1].count("#")
+        assert big > small

@@ -1,0 +1,83 @@
+"""Unit tests for residual graphs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators
+from repro.graph.residual import initial_residual, shrink_residual
+
+
+class TestInitialResidual:
+    def test_identity_mapping(self, path3):
+        res = initial_residual(path3, eta=2)
+        assert res.n == 3
+        assert res.shortfall == 2
+        assert res.round_index == 1
+        assert list(res.original_ids) == [0, 1, 2]
+
+    def test_eta_bounds(self, path3):
+        with pytest.raises(GraphError):
+            initial_residual(path3, eta=0)
+        with pytest.raises(GraphError):
+            initial_residual(path3, eta=4)
+
+    def test_mapping_helpers(self, path3):
+        res = initial_residual(path3, eta=1)
+        assert list(res.to_original([0, 2])) == [0, 2]
+        assert res.local_of(1) == 1
+
+
+class TestShrink:
+    def test_removes_activated(self, path3):
+        res = initial_residual(path3, eta=3)
+        res2 = shrink_residual(res, [0, 1])
+        assert res2.n == 1
+        assert res2.shortfall == 1
+        assert res2.round_index == 2
+        assert list(res2.original_ids) == [2]
+
+    def test_edges_dropped_with_nodes(self, star6):
+        res = initial_residual(star6, eta=6)
+        res2 = shrink_residual(res, [0])
+        assert res2.m == 0  # hub removal kills every edge
+
+    def test_shortfall_floors_at_zero(self, path3):
+        res = initial_residual(path3, eta=1)
+        res2 = shrink_residual(res, [0, 1, 2])
+        assert res2.shortfall == 0
+        assert res2.n == 0
+
+    def test_local_ids_renumbered(self):
+        g = generators.path_graph(5)
+        res = initial_residual(g, eta=5)
+        res2 = shrink_residual(res, [0, 2])  # remove originals 0, 2
+        assert list(res2.original_ids) == [1, 3, 4]
+        # Edge 3 -> 4 survives under local ids 1 -> 2.
+        assert res2.graph.has_edge(1, 2)
+        assert res2.local_of(3) == 1
+
+    def test_chained_shrinks_compose(self):
+        g = generators.path_graph(6)
+        res = initial_residual(g, eta=6)
+        res = shrink_residual(res, [0])
+        res = shrink_residual(res, [0])  # local 0 is original 1 now
+        assert list(res.original_ids) == [2, 3, 4, 5]
+        assert res.round_index == 3
+        assert res.shortfall == 4
+
+    def test_empty_activation_rejected(self, path3):
+        res = initial_residual(path3, eta=2)
+        with pytest.raises(GraphError):
+            shrink_residual(res, [])
+
+    def test_out_of_range_activation_rejected(self, path3):
+        res = initial_residual(path3, eta=2)
+        with pytest.raises(GraphError):
+            shrink_residual(res, [7])
+
+    def test_local_of_missing_node(self, path3):
+        res = initial_residual(path3, eta=2)
+        res2 = shrink_residual(res, [1])
+        with pytest.raises(GraphError):
+            res2.local_of(1)

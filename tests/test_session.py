@@ -1,0 +1,106 @@
+"""Unit tests for the adaptive session state machine."""
+
+import numpy as np
+import pytest
+
+from repro.core.session import AdaptiveSession
+from repro.diffusion.realization import ICRealization
+from repro.errors import ConfigurationError
+from repro.graph import generators
+
+
+def certain_world(graph):
+    return ICRealization(graph, np.ones(graph.m, dtype=bool))
+
+
+class TestConstruction:
+    def test_initial_state(self, path3):
+        session = AdaptiveSession(path3, eta=2, realization=certain_world(path3))
+        assert session.activated_count == 0
+        assert not session.finished
+        assert session.round_index == 1
+        assert session.residual.n == 3
+
+    def test_eta_bounds(self, path3):
+        with pytest.raises(ConfigurationError):
+            AdaptiveSession(path3, eta=0, realization=certain_world(path3))
+        with pytest.raises(ConfigurationError):
+            AdaptiveSession(path3, eta=4, realization=certain_world(path3))
+
+    def test_realization_graph_identity_enforced(self, path3):
+        other = generators.path_graph(3)
+        with pytest.raises(ConfigurationError):
+            AdaptiveSession(path3, eta=2, realization=certain_world(other))
+
+
+class TestObserve:
+    def test_full_cascade_observed(self, path3):
+        session = AdaptiveSession(path3, eta=3, realization=certain_world(path3))
+        obs = session.observe([0])
+        assert sorted(obs.newly_activated.tolist()) == [0, 1, 2]
+        assert obs.marginal_spread == 3
+        assert session.finished
+
+    def test_partial_world(self, path3):
+        live = np.array([True, False])  # 0->1 live, 1->2 blocked
+        phi = ICRealization(path3, live)
+        session = AdaptiveSession(path3, eta=3, realization=phi)
+        obs = session.observe([0])
+        assert sorted(obs.newly_activated.tolist()) == [0, 1]
+        assert not session.finished
+        assert session.residual.n == 1
+        assert session.residual.shortfall == 1
+
+    def test_local_ids_translated_across_rounds(self):
+        g = generators.path_graph(4)
+        live = np.array([True, False, True])  # 0->1 live, 1->2 blocked, 2->3 live
+        phi = ICRealization(g, live)
+        session = AdaptiveSession(g, eta=4, realization=phi)
+        session.observe([0])          # activates originals {0, 1}
+        # Residual holds originals {2, 3}; local 0 is original 2.
+        obs = session.observe([0])
+        assert sorted(obs.newly_activated.tolist()) == [2, 3]
+        assert session.finished
+
+    def test_seeds_committed_order(self, two_components):
+        phi = certain_world(two_components)
+        session = AdaptiveSession(two_components, eta=4, realization=phi)
+        session.observe([0])   # original 0 (activates 0, 1)
+        session.observe([0])   # residual local 0 == original 2
+        assert session.seeds_committed == [0, 2]
+
+    def test_observation_metadata(self, path3):
+        session = AdaptiveSession(path3, eta=2, realization=certain_world(path3))
+        obs = session.observe([0])
+        assert obs.round_index == 1
+        assert obs.shortfall_before == 2
+        assert obs.total_activated == 3
+
+    def test_cannot_observe_after_finish(self, path3):
+        session = AdaptiveSession(path3, eta=1, realization=certain_world(path3))
+        session.observe([0])
+        with pytest.raises(ConfigurationError):
+            session.observe([0])
+
+    def test_empty_seed_batch_rejected(self, path3):
+        session = AdaptiveSession(path3, eta=2, realization=certain_world(path3))
+        with pytest.raises(ConfigurationError):
+            session.observe([])
+
+    def test_history_accumulates(self, two_components):
+        session = AdaptiveSession(
+            two_components, eta=4, realization=certain_world(two_components)
+        )
+        session.observe([0])
+        session.observe([0])
+        assert len(session.history) == 2
+        assert session.history[0].round_index == 1
+        assert session.history[1].round_index == 2
+
+    def test_batch_observation(self, two_components):
+        session = AdaptiveSession(
+            two_components, eta=4, realization=certain_world(two_components)
+        )
+        obs = session.observe([0, 2])
+        assert obs.marginal_spread == 4
+        assert session.finished

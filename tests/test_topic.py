@@ -1,0 +1,132 @@
+"""Unit tests for the topic-aware IC extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.asti import ASTI
+from repro.diffusion.topic import (
+    TopicAwareGraph,
+    TopicAwareIC,
+    TopicMixture,
+    effective_probability_bounds,
+)
+from repro.errors import ConfigurationError
+from repro.graph import generators, weighting
+
+
+@pytest.fixture
+def topology():
+    return generators.preferential_attachment(60, 2, seed=1, directed=False)
+
+
+@pytest.fixture
+def taw(topology):
+    weighted = weighting.weighted_cascade(topology)
+    return TopicAwareGraph.random(weighted, num_topics=3, seed=2)
+
+
+class TestTopicMixture:
+    def test_single(self):
+        m = TopicMixture.single(1, 3)
+        assert m.weights == (0.0, 1.0, 0.0)
+        assert m.num_topics == 3
+
+    def test_uniform(self):
+        m = TopicMixture.uniform(4)
+        assert sum(m.weights) == pytest.approx(1.0)
+        assert len(set(m.weights)) == 1
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            TopicMixture((0.5, 0.2))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopicMixture((-0.1, 1.1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopicMixture(())
+
+    def test_single_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            TopicMixture.single(3, 3)
+
+
+class TestTopicAwareGraph:
+    def test_random_shape(self, taw, topology):
+        assert taw.num_topics == 3
+        assert taw.topic_probabilities.shape == (topology.m, 3)
+        assert taw.n == topology.n
+
+    def test_collapse_preserves_topology(self, taw):
+        graph = taw.collapse(TopicMixture.uniform(3))
+        assert graph.n == taw.n
+        assert graph.m == taw.m
+
+    def test_collapse_is_mixture(self, taw):
+        # Pure-topic collapse equals the corresponding probability column.
+        graph = taw.collapse(TopicMixture.single(0, 3))
+        _, _, probs = graph.edge_arrays()
+        expected = np.clip(taw.topic_probabilities[:, 0], 1e-12, 1.0)
+        # edge_arrays() order matches the topology's canonical order.
+        assert np.allclose(sorted(probs), sorted(expected))
+
+    def test_uniform_item_averages_topic_columns(self, topology):
+        # The uniform mixture is the per-edge mean of the topic columns
+        # (exactly; clipping happens per topic column at construction).
+        weighted = weighting.weighted_cascade(topology)
+        taw = TopicAwareGraph.random(weighted, num_topics=4, seed=3)
+        collapsed = taw.collapse(TopicMixture.uniform(4))
+        _, _, collapsed_probs = collapsed.edge_arrays()
+        expected = np.clip(taw.topic_probabilities.mean(axis=1), 1e-12, 1.0)
+        assert np.allclose(collapsed_probs, expected)
+
+    def test_average_item_tracks_scalar_graph(self, topology):
+        # Dirichlet redistribution preserves scalar probabilities up to the
+        # per-topic clipping at 1, so means stay close.
+        weighted = weighting.weighted_cascade(topology)
+        taw = TopicAwareGraph.random(weighted, num_topics=4, seed=3)
+        collapsed = taw.collapse(TopicMixture.uniform(4))
+        _, _, collapsed_probs = collapsed.edge_arrays()
+        _, _, scalar_probs = weighted.edge_arrays()
+        assert collapsed_probs.mean() == pytest.approx(scalar_probs.mean(), rel=0.1)
+
+    def test_mixture_topic_count_checked(self, taw):
+        with pytest.raises(ConfigurationError):
+            taw.collapse(TopicMixture.uniform(2))
+
+    def test_bad_probability_matrix(self, topology):
+        with pytest.raises(ConfigurationError):
+            TopicAwareGraph(topology, np.ones((topology.m, 2)) * 1.5)
+        with pytest.raises(ConfigurationError):
+            TopicAwareGraph(topology, np.ones((3, 2)) * 0.1)
+
+
+class TestTopicAwareIC:
+    def test_for_item_runs_asti(self, taw):
+        model, graph = TopicAwareIC.for_item(taw, TopicMixture.uniform(3))
+        result = ASTI(model, epsilon=0.5, max_samples=4000).run(graph, eta=8, seed=5)
+        assert result.spread >= 8
+
+    def test_items_see_different_graphs(self, taw):
+        _, g0 = TopicAwareIC.for_item(taw, TopicMixture.single(0, 3))
+        _, g1 = TopicAwareIC.for_item(taw, TopicMixture.single(1, 3))
+        _, p0 = g0.edge_arrays()[0], g0.edge_arrays()[2]
+        _, p1 = g1.edge_arrays()[0], g1.edge_arrays()[2]
+        assert not np.allclose(p0, p1)
+
+    def test_model_name(self):
+        assert TopicAwareIC(TopicMixture.uniform(2)).name == "TIC"
+
+
+class TestBounds:
+    def test_bounds_ordered(self, taw):
+        low, high = effective_probability_bounds(
+            taw, [TopicMixture.single(t, 3) for t in range(3)]
+        )
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_empty_mixtures_rejected(self, taw):
+        with pytest.raises(ConfigurationError):
+            effective_probability_bounds(taw, [])

@@ -1,0 +1,219 @@
+"""Unit tests for utils (rng, validation, timing, stats) and errors."""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleTargetError,
+    NodeNotFoundError,
+    ReproError,
+)
+from repro.utils.rng import as_generator, random_subset, spawn_generators
+from repro.utils.stats import mean_confidence_interval, summarize
+from repro.utils.timing import Stopwatch, format_seconds
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+    check_probability,
+    check_range,
+)
+
+
+class TestRng:
+    def test_as_generator_from_int(self):
+        a = as_generator(5)
+        b = as_generator(5)
+        assert a.random() == b.random()
+
+    def test_as_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_as_generator_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawn_independent_streams(self):
+        streams = spawn_generators(7, 3)
+        values = [g.random() for g in streams]
+        assert len(set(values)) == 3
+
+    def test_spawn_reproducible(self):
+        a = [g.random() for g in spawn_generators(7, 3)]
+        b = [g.random() for g in spawn_generators(7, 3)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        streams = spawn_generators(np.random.default_rng(3), 2)
+        assert len(streams) == 2
+
+    def test_spawn_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+    def test_random_subset_distinct(self, rng):
+        subset = random_subset(rng, 20, 10)
+        assert len(set(subset.tolist())) == 10
+
+    def test_random_subset_too_large(self, rng):
+        with pytest.raises(ValueError):
+            random_subset(rng, 3, 4)
+
+
+class TestValidation:
+    def test_positive_int(self):
+        assert check_positive_int(3, "x") == 3
+        with pytest.raises(ConfigurationError):
+            check_positive_int(0, "x")
+        with pytest.raises(ConfigurationError):
+            check_positive_int(1.5, "x")
+        with pytest.raises(ConfigurationError):
+            check_positive_int(True, "x")
+
+    def test_probability(self):
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ConfigurationError):
+            check_probability(0.0, "p")
+        assert check_probability(0.0, "p", allow_zero=True) == 0.0
+        with pytest.raises(ConfigurationError):
+            check_probability(1.1, "p")
+
+    def test_fraction(self):
+        assert check_fraction(0.5, "eps") == 0.5
+        with pytest.raises(ConfigurationError):
+            check_fraction(0.0, "eps")
+        with pytest.raises(ConfigurationError):
+            check_fraction(1.0, "eps")
+
+    def test_range(self):
+        assert check_range(5, "k", 1, 10) == 5
+        with pytest.raises(ConfigurationError):
+            check_range(0, "k", 1, 10)
+        with pytest.raises(ConfigurationError):
+            check_range(11, "k", 1, 10)
+        assert check_range(100, "k", 1) == 100
+
+
+class TestStopwatch:
+    def test_context_manager(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.01
+
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.005)
+        first = sw.elapsed
+        with sw:
+            time.sleep(0.005)
+        assert sw.elapsed > first
+
+    def test_running_property(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+
+class TestFormatSeconds:
+    def test_milliseconds(self):
+        assert format_seconds(0.25) == "250ms"
+
+    def test_seconds(self):
+        assert format_seconds(12.34) == "12.3s"
+
+    def test_minutes(self):
+        assert format_seconds(125) == "2m05.0s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1)
+
+
+class TestStats:
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.count == 3
+        assert stats.std == pytest.approx(1.0)
+
+    def test_single_value(self):
+        stats = summarize([4.0])
+        assert stats.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_confidence_interval_brackets_mean(self):
+        mean, low, high = mean_confidence_interval([1, 2, 3, 4, 5])
+        assert low <= mean <= high
+        assert mean == pytest.approx(3.0)
+
+    def test_confidence_interval_single_value(self):
+        mean, low, high = mean_confidence_interval([2.0])
+        assert mean == low == high == 2.0
+
+    def test_confidence_widens_with_level(self):
+        data = [1, 2, 3, 4, 5, 6]
+        _, low95, high95 = mean_confidence_interval(data, 0.95)
+        _, low99, high99 = mean_confidence_interval(data, 0.99)
+        assert high99 - low99 > high95 - low95
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1, 2], confidence=1.5)
+
+    def test_erfinv_accuracy(self):
+        from repro.utils.stats import _erfinv
+
+        for y in (-0.9, -0.3, 0.1, 0.5, 0.99):
+            assert math.erf(_erfinv(y)) == pytest.approx(y, abs=1e-9)
+
+    def test_erfinv_domain(self):
+        from repro.utils.stats import _erfinv
+
+        with pytest.raises(ValueError):
+            _erfinv(1.0)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ConfigurationError, ReproError)
+        assert issubclass(NodeNotFoundError, ReproError)
+        assert issubclass(InfeasibleTargetError, ReproError)
+
+    def test_node_not_found_message(self):
+        err = NodeNotFoundError(7, 5)
+        assert "7" in str(err) and "5" in str(err)
+        assert err.node == 7
+
+    def test_infeasible_message(self):
+        err = InfeasibleTargetError(10, 4)
+        assert err.eta == 10
+        assert err.achievable == 4

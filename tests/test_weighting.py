@@ -1,0 +1,125 @@
+"""Unit tests for edge-weighting schemes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import generators, weighting
+from repro.graph.builder import GraphBuilder
+
+
+@pytest.fixture
+def fan_in():
+    """Three sources all pointing at node 3."""
+    builder = GraphBuilder(4)
+    builder.add_edge(0, 3, 1.0)
+    builder.add_edge(1, 3, 1.0)
+    builder.add_edge(2, 3, 1.0)
+    return builder.build()
+
+
+class TestWeightedCascade:
+    def test_probability_is_inverse_indegree(self, fan_in):
+        g = weighting.weighted_cascade(fan_in)
+        for u in range(3):
+            assert g.edge_probability(u, 3) == pytest.approx(1.0 / 3.0)
+
+    def test_incoming_sums_to_one(self, fan_in):
+        g = weighting.weighted_cascade(fan_in)
+        assert float(g.in_probabilities(3).sum()) == pytest.approx(1.0)
+
+    def test_topology_preserved(self, fan_in):
+        g = weighting.weighted_cascade(fan_in)
+        assert g.n == fan_in.n
+        assert g.m == fan_in.m
+
+
+class TestScaledCascade:
+    def test_damping_scales_probabilities(self, fan_in):
+        g = weighting.scaled_cascade(fan_in, 0.6)
+        assert g.edge_probability(0, 3) == pytest.approx(0.2)
+
+    def test_gamma_one_matches_weighted_cascade(self, fan_in):
+        assert weighting.scaled_cascade(fan_in, 1.0) == weighting.weighted_cascade(fan_in)
+
+    def test_invalid_gamma(self, fan_in):
+        with pytest.raises(ConfigurationError):
+            weighting.scaled_cascade(fan_in, 0.0)
+        with pytest.raises(ConfigurationError):
+            weighting.scaled_cascade(fan_in, 1.5)
+
+    def test_valid_lt_weighting(self, fan_in):
+        from repro.diffusion.lt import check_lt_validity
+
+        check_lt_validity(weighting.scaled_cascade(fan_in, 0.4))
+
+
+class TestConstant:
+    def test_assigns_everywhere(self, fan_in):
+        g = weighting.constant(fan_in, 0.05)
+        _, _, probs = g.edge_arrays()
+        assert np.allclose(probs, 0.05)
+
+    def test_invalid_probability(self, fan_in):
+        with pytest.raises(ConfigurationError):
+            weighting.constant(fan_in, 0.0)
+
+
+class TestTrivalency:
+    def test_uses_only_choices(self, fan_in):
+        g = weighting.trivalency(fan_in, seed=1)
+        _, _, probs = g.edge_arrays()
+        assert set(np.round(probs, 6)) <= {0.1, 0.01, 0.001}
+
+    def test_reproducible(self, fan_in):
+        a = weighting.trivalency(fan_in, seed=7)
+        b = weighting.trivalency(fan_in, seed=7)
+        assert a == b
+
+    def test_empty_choices_rejected(self, fan_in):
+        with pytest.raises(ConfigurationError):
+            weighting.trivalency(fan_in, choices=())
+
+    def test_invalid_choice_rejected(self, fan_in):
+        with pytest.raises(ConfigurationError):
+            weighting.trivalency(fan_in, choices=(0.1, 2.0))
+
+
+class TestUniformRandom:
+    def test_within_bounds(self, fan_in):
+        g = weighting.uniform_random(fan_in, low=0.2, high=0.4, seed=3)
+        _, _, probs = g.edge_arrays()
+        assert probs.min() >= 0.2
+        assert probs.max() <= 0.4
+
+    def test_invalid_bounds(self, fan_in):
+        with pytest.raises(ConfigurationError):
+            weighting.uniform_random(fan_in, low=0.5, high=0.2)
+
+
+class TestNormalizeForLT:
+    def test_violating_node_scaled(self):
+        builder = GraphBuilder(3)
+        builder.add_edge(0, 2, 0.9)
+        builder.add_edge(1, 2, 0.9)
+        g = weighting.normalize_for_lt(builder.build())
+        assert float(g.in_probabilities(2).sum()) == pytest.approx(1.0)
+
+    def test_satisfying_node_untouched(self, fan_in):
+        g = weighting.weighted_cascade(fan_in)
+        assert weighting.normalize_for_lt(g) == g
+
+    def test_empty_graph(self):
+        g = GraphBuilder(3).build()
+        assert weighting.normalize_for_lt(g) == g
+
+
+class TestOnGeneratedGraphs:
+    def test_weighted_cascade_on_preferential_attachment(self):
+        topo = generators.preferential_attachment(60, 2, seed=0, directed=False)
+        g = weighting.weighted_cascade(topo)
+        sums = np.zeros(g.n)
+        src, dst, probs = g.edge_arrays()
+        np.add.at(sums, dst, probs)
+        nonzero = sums[g.in_degrees() > 0]
+        assert np.allclose(nonzero, 1.0)
