@@ -22,6 +22,7 @@ from repro.core.asti import AdaptiveRunResult, run_adaptive_policy
 from repro.diffusion.base import DiffusionModel
 from repro.diffusion.realization import Realization
 from repro.graph.digraph import DiGraph
+from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.utils.rng import RandomSource
 from repro.utils.validation import check_fraction
 
@@ -36,11 +37,17 @@ class AdaptIM:
         model: DiffusionModel,
         epsilon: float = 0.5,
         max_samples: Optional[int] = None,
+        sample_batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         check_fraction(epsilon, "epsilon")
         self.model = model
         self.epsilon = epsilon
-        self.selector = OpimNodeSelector(model, epsilon=epsilon, max_samples=max_samples)
+        self.selector = OpimNodeSelector(
+            model,
+            epsilon=epsilon,
+            max_samples=max_samples,
+            sample_batch_size=sample_batch_size,
+        )
 
     def run(
         self,

@@ -35,6 +35,7 @@ from repro.diffusion.base import DiffusionModel
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraph
 from repro.sampling.bounds import coverage_lower_bound
+from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.sampling.rr import RRCollection
 from repro.utils.rng import RandomSource, as_generator
 from repro.utils.timing import Stopwatch
@@ -91,15 +92,18 @@ class ATEUC:
         gamma: float = 2.0,
         theta_initial: int = 512,
         max_doublings: int = 6,
+        sample_batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         check_positive_int(theta_initial, "theta_initial")
         check_positive_int(max_doublings, "max_doublings")
+        check_positive_int(sample_batch_size, "sample_batch_size")
         if gamma < 1.0:
             raise ConfigurationError(f"gamma must be >= 1, got {gamma}")
         self.model = model
         self.gamma = gamma
         self.theta_initial = theta_initial
         self.max_doublings = max_doublings
+        self.sample_batch_size = sample_batch_size
 
     def run(
         self,
@@ -112,7 +116,9 @@ class ATEUC:
         if eta > graph.n:
             raise ConfigurationError(f"eta={eta} exceeds node count {graph.n}")
         rng = as_generator(seed)
-        pool = RRCollection(graph, self.model, seed=rng)
+        pool = RRCollection(
+            graph, self.model, seed=rng, batch_size=self.sample_batch_size
+        )
         timer = Stopwatch()
 
         # Union-bounded confidence parameter across nodes and doublings.

@@ -28,6 +28,7 @@ from repro.diffusion.base import DiffusionModel
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraph
 from repro.sampling.bounds import log_binomial
+from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.sampling.rr import RRCollection
 from repro.utils.rng import RandomSource, as_generator
 from repro.utils.validation import check_fraction, check_positive_int
@@ -52,6 +53,7 @@ def imm_influence_maximization(
     epsilon: float = 0.5,
     seed: RandomSource = None,
     max_samples: Optional[int] = None,
+    sample_batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> InfluenceMaximizationResult:
     """Select ``k`` seeds with IMM's two-phase sampling schedule.
 
@@ -72,7 +74,7 @@ def imm_influence_maximization(
     log_choose = log_binomial(n, k)
     log_n = math.log(max(n, 2))
 
-    pool = RRCollection(graph, model, seed=rng)
+    pool = RRCollection(graph, model, seed=rng, batch_size=sample_batch_size)
     lower_bound = 1.0
     rounds = 0
     phase1_samples = 0
@@ -133,6 +135,7 @@ def imm_diagnostics(
     epsilon: float = 0.5,
     seed: RandomSource = None,
     max_samples: Optional[int] = None,
+    sample_batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> ImmDiagnostics:
     """Run phase 1 only and report the schedule IMM would use.
 
@@ -147,7 +150,7 @@ def imm_diagnostics(
     log_choose = log_binomial(n, k)
     log_n = math.log(max(n, 2))
 
-    pool = RRCollection(graph, model, seed=rng)
+    pool = RRCollection(graph, model, seed=rng, batch_size=sample_batch_size)
     lower_bound = 1.0
     rounds = 0
     max_rounds = max(1, int(math.ceil(math.log2(n))) - 1)

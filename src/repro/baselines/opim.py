@@ -33,6 +33,7 @@ from repro.sampling.bounds import (
     coverage_upper_bound,
     log_binomial,
 )
+from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.sampling.rr import RRCollection
 from repro.utils.rng import RandomSource, as_generator
 from repro.utils.validation import check_fraction, check_positive_int
@@ -53,11 +54,14 @@ class OpimNodeSelector(SeedSelector):
         model: DiffusionModel,
         epsilon: float = 0.5,
         max_samples: Optional[int] = None,
+        sample_batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         check_fraction(epsilon, "epsilon")
+        check_positive_int(sample_batch_size, "sample_batch_size")
         self.model = model
         self.epsilon = epsilon
         self.max_samples = max_samples
+        self.sample_batch_size = sample_batch_size
         self.name = "AdaptIM"
         self.batch_size = 1
 
@@ -68,7 +72,12 @@ class OpimNodeSelector(SeedSelector):
 
         # eta := n disables truncation; root count collapses to 1 (RR sets).
         params = TrimParameters(n, n, self.epsilon, self.max_samples)
-        pool = RRCollection(residual.graph, self.model, seed=rng)
+        pool = RRCollection(
+            residual.graph,
+            self.model,
+            seed=rng,
+            batch_size=self.sample_batch_size,
+        )
         pool.grow_to(params.theta_0)
 
         best_node = 0
@@ -113,6 +122,7 @@ def opim_influence_maximization(
     epsilon: float = 0.5,
     seed: RandomSource = None,
     max_samples: Optional[int] = None,
+    sample_batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> InfluenceMaximizationResult:
     """Select ``k`` seeds maximizing expected spread, OPIM-C style.
 
@@ -140,7 +150,7 @@ def opim_influence_maximization(
     a1 = log_3t_delta + log_choose
     a2 = log_3t_delta
 
-    pool = RRCollection(graph, model, seed=rng)
+    pool = RRCollection(graph, model, seed=rng, batch_size=sample_batch_size)
     pool.grow_to(theta_0)
     seeds: List[int] = []
     certified = 0.0

@@ -28,6 +28,7 @@ from repro.experiments.harness import run_sweep
 from repro.experiments.report import format_series, format_table
 from repro.graph import analysis
 from repro.graph.io import read_edge_list
+from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.sampling.mrr import estimate_truncated_spread_mrr
 
 
@@ -49,6 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--eta", type=int, required=True, help="influence target")
     solve.add_argument("--model", choices=("IC", "LT"), default="IC")
     solve.add_argument("--batch-size", type=int, default=1)
+    solve.add_argument(
+        "--sample-batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        help="(m)RR sets generated per vectorized engine call",
+    )
     solve.add_argument("--epsilon", type=float, default=0.5)
     solve.add_argument("--max-samples", type=int, default=None)
     solve.add_argument("--seed", type=int, default=0)
@@ -70,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--realizations", type=int, default=5)
     sweep.add_argument("--max-samples", type=int, default=None)
+    sweep.add_argument(
+        "--sample-batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        help="(m)RR sets generated per vectorized engine call",
+    )
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--out-csv", default=None, help="write per-run rows")
     sweep.add_argument("--out-json", default=None, help="write aggregate summary")
@@ -157,6 +170,7 @@ def _cmd_solve(args, out) -> int:
         epsilon=args.epsilon,
         batch_size=args.batch_size,
         max_samples=args.max_samples,
+        sample_batch_size=args.sample_batch_size,
     )
     result = algorithm.run(graph, args.eta, seed=args.seed)
     print(
@@ -192,6 +206,7 @@ def _cmd_sweep(args, out) -> int:
         realizations=args.realizations,
         graph_n=args.n,
         max_samples=args.max_samples,
+        sample_batch_size=args.sample_batch_size,
         seed=args.seed,
     )
     sweep = run_sweep(config)

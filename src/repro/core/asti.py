@@ -30,6 +30,7 @@ from repro.diffusion.base import DiffusionModel
 from repro.diffusion.realization import Realization
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraph
+from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.utils.rng import RandomSource, as_generator
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_fraction, check_positive_int
@@ -163,19 +164,29 @@ class ASTI:
         epsilon: float = 0.5,
         batch_size: int = 1,
         max_samples: Optional[int] = None,
+        sample_batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         check_fraction(epsilon, "epsilon")
         check_positive_int(batch_size, "batch_size")
+        check_positive_int(sample_batch_size, "sample_batch_size")
         self.model = model
         self.epsilon = epsilon
         self.batch_size = batch_size
+        self.sample_batch_size = sample_batch_size
         if batch_size == 1:
             self.selector: SeedSelector = TrimSelector(
-                model, epsilon=epsilon, max_samples=max_samples
+                model,
+                epsilon=epsilon,
+                max_samples=max_samples,
+                sample_batch_size=sample_batch_size,
             )
         else:
             self.selector = TrimBSelector(
-                model, b=batch_size, epsilon=epsilon, max_samples=max_samples
+                model,
+                b=batch_size,
+                epsilon=epsilon,
+                max_samples=max_samples,
+                sample_batch_size=sample_batch_size,
             )
 
     @property

@@ -22,8 +22,9 @@ from repro.diffusion.base import DiffusionModel
 from repro.errors import BudgetExhaustedError, InfeasibleTargetError
 from repro.graph.residual import ResidualGraph
 from repro.sampling.bounds import coverage_lower_bound, coverage_upper_bound
+from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.sampling.mrr import MRRCollection
-from repro.utils.validation import check_fraction
+from repro.utils.validation import check_fraction, check_positive_int
 
 _ONE_MINUS_INV_E = 1.0 - 1.0 / math.e
 
@@ -85,6 +86,10 @@ class TrimSelector(SeedSelector):
         the cap without certification raises
         :class:`~repro.errors.BudgetExhaustedError` instead of returning the
         best-effort node.
+    sample_batch_size:
+        mRR sets generated per vectorized engine call when growing the
+        pool (see :class:`~repro.sampling.engine.BatchSampler`); purely a
+        throughput knob, distinct from TRIM-B's seed batch ``b``.
     """
 
     def __init__(
@@ -93,12 +98,15 @@ class TrimSelector(SeedSelector):
         epsilon: float = 0.5,
         max_samples: Optional[int] = None,
         strict_budget: bool = False,
+        sample_batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         check_fraction(epsilon, "epsilon")
+        check_positive_int(sample_batch_size, "sample_batch_size")
         self.model = model
         self.epsilon = epsilon
         self.max_samples = max_samples
         self.strict_budget = strict_budget
+        self.sample_batch_size = sample_batch_size
         self.name = "TRIM"
         self.batch_size = 1
 
@@ -112,7 +120,13 @@ class TrimSelector(SeedSelector):
             return Selection(nodes=[0], diagnostics=SelectionDiagnostics(estimated_gain=1.0))
 
         params = TrimParameters(n, eta, self.epsilon, self.max_samples)
-        pool = MRRCollection(residual.graph, self.model, eta, seed=rng)
+        pool = MRRCollection(
+            residual.graph,
+            self.model,
+            eta,
+            seed=rng,
+            batch_size=self.sample_batch_size,
+        )
         pool.grow_to(params.theta_0)
 
         best_node = 0

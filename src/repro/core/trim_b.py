@@ -24,6 +24,7 @@ from repro.sampling.bounds import (
     coverage_upper_bound,
     log_binomial,
 )
+from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.sampling.mrr import MRRCollection
 from repro.utils.validation import check_fraction, check_positive_int
 
@@ -110,14 +111,17 @@ class TrimBSelector(SeedSelector):
         epsilon: float = 0.5,
         max_samples: Optional[int] = None,
         strict_budget: bool = False,
+        sample_batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         check_fraction(epsilon, "epsilon")
         check_positive_int(b, "b")
+        check_positive_int(sample_batch_size, "sample_batch_size")
         self.model = model
         self.b = b
         self.epsilon = epsilon
         self.max_samples = max_samples
         self.strict_budget = strict_budget
+        self.sample_batch_size = sample_batch_size
         self.name = f"TRIM-B({b})"
         self.batch_size = b
 
@@ -135,7 +139,13 @@ class TrimBSelector(SeedSelector):
             )
 
         params = TrimBParameters(n, eta, self.epsilon, b, self.max_samples)
-        pool = MRRCollection(residual.graph, self.model, eta, seed=rng)
+        pool = MRRCollection(
+            residual.graph,
+            self.model,
+            eta,
+            seed=rng,
+            batch_size=self.sample_batch_size,
+        )
         pool.grow_to(params.theta_0)
 
         batch = list(range(b))

@@ -79,6 +79,71 @@ class DiffusionModel(abc.ABC):
             The visited node ids (including the roots themselves).
         """
 
+    def reverse_sample_batch(
+        self,
+        graph: DiGraph,
+        roots: np.ndarray,
+        roots_indptr: np.ndarray,
+        rng: np.random.Generator,
+        scratch: np.ndarray = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Generate a whole batch of reverse samples in one call.
+
+        Parameters
+        ----------
+        graph:
+            The (residual) graph to sample in.
+        roots:
+            Flat int64 array concatenating every sample's (distinct) root
+            node ids.
+        roots_indptr:
+            Int64 array of length ``batch + 1`` delimiting each sample's
+            roots inside ``roots`` (CSR layout, starting at 0).
+        rng:
+            Generator supplying the edge coin flips.
+        scratch:
+            Optional pooled all-False boolean buffer of length at least
+            ``batch * graph.n``; restored to all False before returning
+            (see :func:`run_labeled_reverse_bfs`).  ``None`` allocates a
+            fresh bitset.
+
+        Returns
+        -------
+        (members, indptr):
+            CSR-packed results: ``members`` concatenates the visited node
+            ids of every sample (roots included, order unspecified) and
+            ``indptr`` (length ``batch + 1``) delimits them.
+
+        The base implementation loops :meth:`reverse_sample` once per
+        sample and is the distributional reference; the concrete models
+        override it with a single multi-source labeled reverse BFS that
+        expands all samples' frontiers level by level and flips every
+        needed edge coin of a level in one vectorized draw.
+        """
+        roots = np.asarray(roots, dtype=np.int64)
+        roots_indptr = np.asarray(roots_indptr, dtype=np.int64)
+        # The scalar loop only needs n of the pooled batch*n bits; each
+        # reverse_sample call restores its slice, honoring the contract.
+        out = (
+            scratch[: graph.n]
+            if scratch is not None
+            else np.zeros(graph.n, dtype=bool)
+        )
+        pieces = []
+        sizes = np.empty(len(roots_indptr) - 1, dtype=np.int64)
+        for i in range(len(roots_indptr) - 1):
+            sample = self.reverse_sample(
+                graph, roots[roots_indptr[i] : roots_indptr[i + 1]], rng, out
+            )
+            pieces.append(sample)
+            sizes[i] = len(sample)
+        indptr = np.zeros(len(sizes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=indptr[1:])
+        members = (
+            np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+        )
+        return members, indptr
+
     def simulate(
         self,
         graph: DiGraph,
@@ -109,3 +174,77 @@ class DiffusionModel(abc.ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+def run_labeled_reverse_bfs(
+    n: int,
+    roots: np.ndarray,
+    roots_indptr: np.ndarray,
+    propose,
+    scratch: np.ndarray = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Shared driver of the vectorized multi-sample reverse BFS.
+
+    All samples advance in lockstep: the frontier is a pair of parallel
+    arrays ``(sample_ids, nodes)`` and visitation is one flat bitset keyed
+    ``sample_id * n + node`` (a packed ``(batch, n)`` matrix).  Per level,
+    ``propose(frontier_sids, frontier_nodes)`` returns the candidate
+    expansion as an array of such keys — it may freely contain duplicates
+    and already-visited pairs; the driver filters, dedups, marks, and
+    collects.  Only the per-level edge-selection rule differs between
+    models (IC flips every in-edge coin; LT keeps at most one in-edge),
+    which is exactly what the callback encapsulates.
+
+    ``scratch`` is an optional caller-pooled boolean buffer of length at
+    least ``batch * n`` that is all False on entry; it is restored to all
+    False before returning (only the visited keys are touched — the
+    batched analogue of :meth:`DiffusionModel.reverse_sample`'s pooled
+    ``out``), so repeated engine calls on large graphs avoid allocating
+    and zeroing a fresh bitset each time.
+    """
+    roots = np.asarray(roots, dtype=np.int64)
+    roots_indptr = np.asarray(roots_indptr, dtype=np.int64)
+    batch = len(roots_indptr) - 1
+    root_sids = np.repeat(
+        np.arange(batch, dtype=np.int64), np.diff(roots_indptr)
+    )
+    visited = scratch if scratch is not None else np.zeros(batch * n, dtype=bool)
+    visited[root_sids * n + roots] = True
+    collected_sids = [root_sids]
+    collected_nodes = [roots]
+    frontier_sids, frontier_nodes = root_sids, roots
+    while len(frontier_nodes):
+        keys = propose(frontier_sids, frontier_nodes)
+        if len(keys):
+            keys = keys[~visited[keys]]  # filter first: unique sorts the rest
+        if len(keys) == 0:
+            break
+        keys = np.unique(keys)  # dedup within the level
+        visited[keys] = True
+        frontier_sids, frontier_nodes = np.divmod(keys, n)
+        collected_sids.append(frontier_sids)
+        collected_nodes.append(frontier_nodes)
+    all_sids = np.concatenate(collected_sids)
+    all_nodes = np.concatenate(collected_nodes)
+    if scratch is not None:
+        visited[all_sids * n + all_nodes] = False  # restore the pooled buffer
+    return pack_by_sample(all_sids, all_nodes, batch)
+
+
+def pack_by_sample(
+    sample_ids: np.ndarray, nodes: np.ndarray, batch: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Group ``(sample_ids, nodes)`` pairs into a CSR batch result.
+
+    Shared epilogue of the vectorized ``reverse_sample_batch``
+    implementations: a stable sort by sample id turns the level-ordered
+    ``(sid, node)`` stream of the labeled BFS into the packed
+    ``(members, indptr)`` layout that :meth:`CoverageIndex.add_batch`
+    consumes directly.
+    """
+    order = np.argsort(sample_ids, kind="stable")
+    members = nodes[order]
+    counts = np.bincount(sample_ids, minlength=batch)
+    indptr = np.zeros(batch + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return members, indptr

@@ -13,7 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.diffusion.base import DiffusionModel
+from repro.diffusion.base import DiffusionModel, run_labeled_reverse_bfs
 from repro.diffusion.realization import ICRealization
 from repro.graph.digraph import DiGraph, gather_csr_rows
 from repro.utils.rng import RandomSource, as_generator
@@ -98,3 +98,37 @@ class IndependentCascade(DiffusionModel):
         result = np.concatenate(collected) if len(collected) > 1 else roots.copy()
         visited[result] = False  # restore the pooled scratch buffer
         return result
+
+    def reverse_sample_batch(
+        self,
+        graph: DiGraph,
+        roots: np.ndarray,
+        roots_indptr: np.ndarray,
+        rng: np.random.Generator,
+        scratch: np.ndarray = None,
+    ):
+        """One multi-source labeled reverse BFS generating a whole batch.
+
+        The shared :func:`~repro.diffusion.base.run_labeled_reverse_bfs`
+        driver advances all samples in lockstep; this model's per-level
+        rule flips the edge coins for every sample's frontier in a single
+        vectorized draw.  Distributionally identical to ``batch``
+        independent :meth:`reverse_sample` calls — each
+        ``(sample, in-edge)`` coin is still flipped at most once, when its
+        target is first expanded within that sample.
+        """
+        indptr, sources, probs = graph.in_csr
+        n = graph.n
+
+        def flip_in_edge_coins(frontier_sids, frontier_nodes):
+            positions = gather_csr_rows(indptr, frontier_nodes)
+            if len(positions) == 0:
+                return positions
+            degrees = indptr[frontier_nodes + 1] - indptr[frontier_nodes]
+            owners = np.repeat(frontier_sids, degrees)
+            fired = rng.random(len(positions)) < probs[positions]
+            return owners[fired] * n + sources[positions[fired]]
+
+        return run_labeled_reverse_bfs(
+            n, roots, roots_indptr, flip_in_edge_coins, scratch
+        )

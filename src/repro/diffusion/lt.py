@@ -18,7 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.diffusion.base import DiffusionModel
+from repro.diffusion.base import DiffusionModel, run_labeled_reverse_bfs
 from repro.diffusion.realization import LTRealization
 from repro.errors import DiffusionError
 from repro.graph.digraph import DiGraph, gather_csr_rows
@@ -56,6 +56,8 @@ class LinearThreshold(DiffusionModel):
     def __init__(self, validate: bool = True):
         self._validate = validate
         self._checked_ids: set = set()
+        self._cum_graph: DiGraph = None
+        self._cum_probs: np.ndarray = None
 
     def _ensure_valid(self, graph: DiGraph) -> None:
         if not self._validate:
@@ -68,6 +70,21 @@ class LinearThreshold(DiffusionModel):
         if len(self._checked_ids) > 4096:
             self._checked_ids.clear()
         self._checked_ids.add(key)
+
+    def _cumulative_in_probs(self, graph: DiGraph, probs: np.ndarray) -> np.ndarray:
+        """Memoized running sum of the in-CSR probabilities.
+
+        ``reverse_sample_batch`` binary-searches this array once per BFS
+        level; recomputing the O(m) cumsum per engine call would dominate
+        small batches.  A single slot suffices: pool growth hammers one
+        graph at a time, and each adaptive round brings a fresh residual
+        graph that replaces the previous entry — so nothing beyond the
+        current graph (identity-checked, immutable) is ever pinned.
+        """
+        if self._cum_graph is not graph:
+            self._cum_graph = graph
+            self._cum_probs = np.cumsum(probs)
+        return self._cum_probs
 
     def sample_realization(
         self, graph: DiGraph, seed: RandomSource = None
@@ -162,3 +179,39 @@ class LinearThreshold(DiffusionModel):
         result = np.asarray(collected, dtype=np.int64)
         visited[result] = False  # restore the pooled scratch buffer
         return result
+
+    def reverse_sample_batch(
+        self,
+        graph: DiGraph,
+        roots: np.ndarray,
+        roots_indptr: np.ndarray,
+        rng: np.random.Generator,
+        scratch: np.ndarray = None,
+    ):
+        """Batched reverse random walks via one searchsorted per level.
+
+        Every visited ``(sample, node)`` pair keeps at most one incoming
+        edge.  The per-node prefix scan of the single-sample walk becomes a
+        binary search: with ``cum`` the global running sum of the in-CSR
+        probabilities, node ``v``'s chosen edge for a uniform draw ``x`` is
+        the first in-CSR position whose within-row cumulative probability
+        exceeds ``x`` — i.e. ``searchsorted(cum, cum_before_row(v) + x)`` —
+        and one call resolves the whole frontier.  A draw past the row's
+        total probability keeps no edge, exactly like the scalar scan.
+        """
+        self._ensure_valid(graph)
+        indptr, sources, probs = graph.in_csr
+        n = graph.n
+        cum = self._cumulative_in_probs(graph, probs)
+
+        def keep_one_in_edge(frontier_sids, frontier_nodes):
+            starts = indptr[frontier_nodes]
+            base = np.where(starts > 0, cum[starts - 1], 0.0)
+            draws = rng.random(len(frontier_nodes))
+            chosen = np.searchsorted(cum, base + draws, side="right")
+            kept = chosen < indptr[frontier_nodes + 1]
+            return frontier_sids[kept] * n + sources[chosen[kept]]
+
+        return run_labeled_reverse_bfs(
+            n, roots, roots_indptr, keep_one_in_edge, scratch
+        )

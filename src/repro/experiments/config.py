@@ -21,6 +21,7 @@ from repro.diffusion.ic import IndependentCascade
 from repro.diffusion.lt import LinearThreshold
 from repro.errors import ConfigurationError
 from repro.experiments import datasets
+from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.utils.validation import check_fraction, check_positive_int
 
 #: Roster labels understood by the harness.
@@ -42,6 +43,7 @@ class ExperimentConfig:
     epsilon: float = 0.5
     graph_n: Optional[int] = None                # None = dataset default
     max_samples: Optional[int] = None            # per-round mRR/RR cap
+    sample_batch_size: int = DEFAULT_BATCH_SIZE  # engine sets per vectorized call
     seed: int = 0
     label: str = field(default="")
 
@@ -52,6 +54,7 @@ class ExperimentConfig:
                 f"model_name must be 'IC' or 'LT', got {self.model_name!r}"
             )
         check_positive_int(self.realizations, "realizations")
+        check_positive_int(self.sample_batch_size, "sample_batch_size")
         check_fraction(self.epsilon, "epsilon")
         for fraction in self.eta_fractions:
             if not 0.0 < fraction <= 1.0:

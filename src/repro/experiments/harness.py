@@ -25,6 +25,7 @@ from repro.diffusion.realization import Realization
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.graph.digraph import DiGraph
+from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.utils.rng import spawn_generators
 from repro.utils.stats import summarize
 
@@ -76,17 +77,35 @@ def build_algorithm(
     model: DiffusionModel,
     epsilon: float,
     max_samples: Optional[int],
+    sample_batch_size: int = DEFAULT_BATCH_SIZE,
 ):
     """Instantiate a roster entry from its label."""
     if label == "ASTI":
-        return ASTI(model, epsilon=epsilon, batch_size=1, max_samples=max_samples)
+        return ASTI(
+            model,
+            epsilon=epsilon,
+            batch_size=1,
+            max_samples=max_samples,
+            sample_batch_size=sample_batch_size,
+        )
     if label.startswith("ASTI-"):
         batch = int(label.split("-", 1)[1])
-        return ASTI(model, epsilon=epsilon, batch_size=batch, max_samples=max_samples)
+        return ASTI(
+            model,
+            epsilon=epsilon,
+            batch_size=batch,
+            max_samples=max_samples,
+            sample_batch_size=sample_batch_size,
+        )
     if label == "AdaptIM":
-        return AdaptIM(model, epsilon=epsilon, max_samples=max_samples)
+        return AdaptIM(
+            model,
+            epsilon=epsilon,
+            max_samples=max_samples,
+            sample_batch_size=sample_batch_size,
+        )
     if label == "ATEUC":
-        return ATEUC(model)
+        return ATEUC(model, sample_batch_size=sample_batch_size)
     raise ConfigurationError(f"unknown algorithm label {label!r}")
 
 
@@ -110,11 +129,14 @@ def run_eta_point(
     epsilon: float = 0.5,
     max_samples: Optional[int] = None,
     seed: int = 0,
+    sample_batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> Dict[str, AlgorithmOutcome]:
     """Compare ``algorithms`` at a single threshold ``eta``."""
     outcomes: Dict[str, AlgorithmOutcome] = {}
     for label in algorithms:
-        algorithm = build_algorithm(label, model, epsilon, max_samples)
+        algorithm = build_algorithm(
+            label, model, epsilon, max_samples, sample_batch_size
+        )
         outcome = AlgorithmOutcome(algorithm=label, eta=eta)
         if label == "ATEUC":
             _run_non_adaptive(algorithm, graph, eta, realizations, seed, outcome)
@@ -207,5 +229,6 @@ def run_sweep(config: ExperimentConfig) -> SweepResult:
             epsilon=config.epsilon,
             max_samples=config.max_samples,
             seed=config.seed,
+            sample_batch_size=config.sample_batch_size,
         )
     return SweepResult(config=config, eta_values=eta_values, outcomes=outcomes)

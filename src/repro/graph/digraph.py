@@ -233,6 +233,7 @@ class DiGraph:
 
         With parallel edges, returns the probability of the first stored one.
         """
+        self._check_node(v)
         neighbors = self.out_neighbors(u)
         matches = np.flatnonzero(neighbors == v)
         if len(matches) == 0:

@@ -8,6 +8,15 @@ from repro.sampling.bounds import (
     log_binomial,
 )
 from repro.sampling.coverage import CoverageIndex, GreedyCoverResult
+from repro.sampling.engine import (
+    DEFAULT_BATCH_SIZE,
+    BatchSampler,
+    RandomizedRoundingRootDrawer,
+    RootDrawer,
+    UniformRootDrawer,
+    mrr_batch_sampler,
+    rr_batch_sampler,
+)
 from repro.sampling.rr import RRCollection, RRSampler
 from repro.sampling.mrr import (
     MRRCollection,
@@ -33,6 +42,13 @@ __all__ = [
     "log_binomial",
     "CoverageIndex",
     "GreedyCoverResult",
+    "DEFAULT_BATCH_SIZE",
+    "BatchSampler",
+    "RootDrawer",
+    "UniformRootDrawer",
+    "RandomizedRoundingRootDrawer",
+    "rr_batch_sampler",
+    "mrr_batch_sampler",
     "RRSampler",
     "RRCollection",
     "MRRSampler",

@@ -1,24 +1,31 @@
 """Coverage bookkeeping over a pool of (m)RR sets.
 
 Both TRIM's single-node selection (``argmax_v Lambda_R(v)``) and TRIM-B's
-greedy maximum coverage operate on the same structure: a list of node sets
+greedy maximum coverage operate on the same structure: a pool of node sets
 plus a per-node count of how many sets each node appears in.
 
-:class:`CoverageIndex` maintains the counts incrementally as sets are added
-(cheap, because each set touches only its members), exposes the argmax, and
-implements the standard greedy maximum-coverage routine with its
-``1 - (1 - 1/b)^b`` guarantee (Vazirani 2003), which is exactly the
-``Greedy(R)`` of the paper's Algorithm 3.
+:class:`CoverageIndex` stores the pool as **packed CSR arrays** — one flat
+``members`` vector and an ``indptr`` of set boundaries — so whole batches of
+sets arriving from the :class:`~repro.sampling.engine.BatchSampler` are
+absorbed with a handful of vectorized NumPy operations (:meth:`add_batch`),
+coverage queries reduce over the flat vector, and the greedy
+maximum-coverage routine with its ``1 - (1 - 1/b)^b`` guarantee (Vazirani
+2003; the ``Greedy(R)`` of the paper's Algorithm 3) updates marginal gains
+one *set batch* at a time instead of one element at a time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, SamplingError
+from repro.graph.digraph import gather_csr_rows
+
+_INITIAL_MEMBER_CAPACITY = 1024
+_INITIAL_SET_CAPACITY = 256
 
 
 @dataclass(frozen=True)
@@ -30,14 +37,46 @@ class GreedyCoverResult:
     marginal_gains: List[int]  # sets newly covered by each pick, in order
 
 
+class _SetsView:
+    """Read-only sequence view over the CSR-packed sets.
+
+    Each item is a NumPy slice of the flat members array — no copies, but
+    callers must treat the slices as read-only.
+    """
+
+    __slots__ = ("_index",)
+
+    def __init__(self, index: "CoverageIndex"):
+        self._index = index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __getitem__(self, set_id):
+        if isinstance(set_id, slice):
+            return [self[i] for i in range(*set_id.indices(len(self)))]
+        if set_id < 0:
+            set_id += len(self._index)
+        if not 0 <= set_id < len(self._index):
+            raise IndexError(set_id)
+        indptr = self._index._indptr
+        return self._index._members[indptr[set_id] : indptr[set_id + 1]]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for set_id in range(len(self._index)):
+            yield self[set_id]
+
+
 class CoverageIndex:
-    """A growable pool of node sets with per-node coverage counts."""
+    """A growable CSR-packed pool of node sets with per-node coverage counts."""
 
     def __init__(self, n: int):
         if n < 1:
             raise ConfigurationError(f"need n >= 1, got {n}")
         self.n = int(n)
-        self._sets: List[np.ndarray] = []
+        self._members = np.empty(_INITIAL_MEMBER_CAPACITY, dtype=np.int64)
+        self._indptr = np.zeros(_INITIAL_SET_CAPACITY + 1, dtype=np.int64)
+        self._num_sets = 0
         self._counts = np.zeros(n, dtype=np.int64)
 
     # ------------------------------------------------------------------
@@ -47,28 +86,75 @@ class CoverageIndex:
     def add(self, members: np.ndarray) -> None:
         """Add one set (an array of distinct node ids)."""
         members = np.asarray(members, dtype=np.int64)
-        if len(members) == 0:
+        self.add_batch(
+            members, np.asarray([0, len(members)], dtype=np.int64)
+        )
+
+    def add_batch(self, members: np.ndarray, indptr: np.ndarray) -> None:
+        """Bulk-append a CSR batch of sets.
+
+        ``members`` concatenates the new sets' node ids; ``indptr`` (length
+        ``batch + 1``, starting at 0) delimits them.  Equivalent to calling
+        :meth:`add` once per set, but the packed copy and the coverage-count
+        update are single vectorized operations regardless of batch size.
+        """
+        members = np.asarray(members, dtype=np.int64)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        if len(indptr) < 2 or indptr[0] != 0 or indptr[-1] != len(members):
+            raise SamplingError(
+                "indptr must start at 0 and end at len(members)"
+            )
+        sizes = np.diff(indptr)
+        if (sizes <= 0).any():
             # An empty reverse sample cannot happen (roots are members), but
             # guard anyway: an empty set covers nothing and breaks argmax
             # invariants silently.
             raise SamplingError("cannot add an empty set to the coverage index")
-        if members.min() < 0 or members.max() >= self.n:
+        if len(members) and (members.min() < 0 or members.max() >= self.n):
             raise SamplingError("set contains node ids outside the graph")
-        self._sets.append(members)
-        self._counts[members] += 1
+        # A node repeated inside one set would inflate its coverage count
+        # relative to coverage_of_set; reject rather than corrupt silently.
+        # Keying members by their set id makes the duplicate check one sort.
+        set_of_member = np.repeat(
+            np.arange(len(sizes), dtype=np.int64), sizes
+        )
+        keyed = np.sort(set_of_member * self.n + members)
+        if len(keyed) > 1 and (keyed[1:] == keyed[:-1]).any():
+            raise SamplingError("a set contains duplicate node ids")
+
+        batch = len(indptr) - 1
+        used = self._indptr[self._num_sets]
+        self._members = _ensure_capacity(self._members, used + len(members))
+        self._indptr = _ensure_capacity(self._indptr, self._num_sets + batch + 1)
+        self._members[used : used + len(members)] = members
+        self._indptr[self._num_sets + 1 : self._num_sets + batch + 1] = (
+            used + indptr[1:]
+        )
+        self._num_sets += batch
+        if len(members) * 8 < self.n:
+            # Small update (e.g. the single-set reference path): touch only
+            # the members instead of paying an O(n) bincount per call.
+            np.add.at(self._counts, members, 1)
+        else:
+            self._counts += np.bincount(members, minlength=self.n)
 
     def __len__(self) -> int:
         """Number of sets in the pool (``|R|`` in the paper)."""
-        return len(self._sets)
+        return self._num_sets
 
     @property
     def sets(self) -> Sequence[np.ndarray]:
-        """Read-only view of the stored sets."""
-        return self._sets
+        """Read-only view of the stored sets (CSR slices, no copies)."""
+        return _SetsView(self)
+
+    def packed(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The raw ``(members, indptr)`` CSR arrays (read-only views)."""
+        used = self._indptr[self._num_sets]
+        return self._members[:used], self._indptr[: self._num_sets + 1]
 
     def total_size(self) -> int:
         """Sum of set sizes; proportional to greedy-cover cost."""
-        return int(sum(len(s) for s in self._sets))
+        return int(self._indptr[self._num_sets])
 
     # ------------------------------------------------------------------
     # Single-node coverage (TRIM)
@@ -90,7 +176,7 @@ class CoverageIndex:
         Ties break toward the smallest node id (NumPy argmax convention),
         which keeps runs reproducible.
         """
-        if len(self._sets) == 0:
+        if self._num_sets == 0:
             raise SamplingError("coverage index is empty; generate sets first")
         v = int(self._counts.argmax())
         return v, int(self._counts[v])
@@ -102,11 +188,13 @@ class CoverageIndex:
             if not 0 <= v < self.n:
                 raise SamplingError(f"node {v} out of range for n={self.n}")
             node_mask[v] = True
-        hit = 0
-        for members in self._sets:
-            if node_mask[members].any():
-                hit += 1
-        return hit
+        if self._num_sets == 0 or not node_mask.any():
+            return 0
+        members, indptr = self.packed()
+        hits = node_mask[members]
+        # Sets are never empty, so indptr is strictly increasing and the
+        # segment reduction is well defined.
+        return int(np.logical_or.reduceat(hits, indptr[:-1]).sum())
 
     # ------------------------------------------------------------------
     # Greedy maximum coverage (TRIM-B / ATEUC)
@@ -130,6 +218,11 @@ class CoverageIndex:
         covered (seed-minimization callers such as ATEUC use this: they want
         the shortest prefix reaching a coverage target, not a fixed-size
         batch).
+
+        Each pick is fully vectorized: the sets newly covered by the chosen
+        node are looked up through the inverted node -> set-id CSR, and the
+        gain decrements for *all* their members happen in one ``bincount``
+        accumulation over the packed members array.
         """
         if budget < 1:
             raise ConfigurationError(f"budget must be >= 1, got {budget}")
@@ -137,8 +230,9 @@ class CoverageIndex:
             raise ConfigurationError(
                 f"budget {budget} exceeds node count {self.n}"
             )
+        members, set_indptr = self.packed()
         gains = self._counts.copy()
-        covered = np.zeros(len(self._sets), dtype=bool)
+        covered = np.zeros(self._num_sets, dtype=bool)
         node_indptr, node_sets = self._inverted_index()
 
         selected: List[int] = []
@@ -154,23 +248,36 @@ class CoverageIndex:
             selected.append(v)
             marginal.append(max(gain, 0))
             if gain > 0:
-                for sid in node_sets[node_indptr[v] : node_indptr[v + 1]]:
-                    if not covered[sid]:
-                        covered[sid] = True
-                        covered_total += 1
-                        np.subtract.at(gains, self._sets[sid], 1)
+                candidate_sids = node_sets[node_indptr[v] : node_indptr[v + 1]]
+                fresh = candidate_sids[~covered[candidate_sids]]
+                covered[fresh] = True
+                covered_total += len(fresh)
+                touched = members[gather_csr_rows(set_indptr, fresh)]
+                gains -= np.bincount(touched, minlength=self.n)
             gains[v] = -1  # never reselect
         return GreedyCoverResult(selected, covered_total, marginal)
 
     def _inverted_index(self) -> Tuple[np.ndarray, np.ndarray]:
         """CSR-style node -> set-id index built on demand."""
-        if not self._sets:
+        if self._num_sets == 0:
             return np.zeros(self.n + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
-        lengths = np.fromiter((len(s) for s in self._sets), dtype=np.int64)
-        flat_nodes = np.concatenate(self._sets)
-        set_ids = np.repeat(np.arange(len(self._sets), dtype=np.int64), lengths)
-        order = np.argsort(flat_nodes, kind="stable")
-        counts = np.bincount(flat_nodes, minlength=self.n)
-        indptr = np.zeros(self.n + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
-        return indptr, set_ids[order]
+        members, indptr = self.packed()
+        sizes = np.diff(indptr)
+        set_ids = np.repeat(np.arange(self._num_sets, dtype=np.int64), sizes)
+        order = np.argsort(members, kind="stable")
+        counts = np.bincount(members, minlength=self.n)
+        node_indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=node_indptr[1:])
+        return node_indptr, set_ids[order]
+
+
+def _ensure_capacity(array: np.ndarray, needed: int) -> np.ndarray:
+    """Amortized-doubling growth for the packed append buffers."""
+    if len(array) >= needed:
+        return array
+    capacity = max(len(array) * 2, needed)
+    grown = np.empty(capacity, dtype=array.dtype)
+    grown[: len(array)] = array
+    return grown
+
+

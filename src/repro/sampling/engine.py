@@ -1,0 +1,261 @@
+"""The batched (m)RR-set generation engine.
+
+Every pool consumer in the library — TRIM, TRIM-B, AdaptIM's OPIM selector,
+IMM, OPIM, ATEUC — grows its pool through :class:`BatchSampler`, which
+requests ``batch_size`` reverse samples per call to
+:meth:`~repro.diffusion.base.DiffusionModel.reverse_sample_batch` and hands
+the CSR-packed result straight to
+:meth:`~repro.sampling.coverage.CoverageIndex.add_batch`.  A ``grow_to``
+that previously paid per-set Python dispatch thousands of times per round
+now runs ``ceil(missing / batch_size)`` engine calls, each a handful of
+vectorized NumPy operations over all samples at once.
+
+Root selection is a strategy object so the same engine serves both set
+families:
+
+* :class:`UniformRootDrawer` — one uniform root per sample (vanilla RR
+  sets, Borgs et al. 2014);
+* :class:`RandomizedRoundingRootDrawer` — the paper's Theorem 3.3 root
+  count ``k in {k_low, k_low + 1}`` with ``E[k] = n / eta``, drawn and
+  deduplicated for a whole batch at a time (mRR sets, Definition 3.2).
+
+The one-at-a-time ``RRSampler.sample`` / ``MRRSampler.sample`` paths remain
+as the distributional reference that the batch-equivalence tests check
+against.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from repro.diffusion.base import DiffusionModel
+from repro.errors import ConfigurationError, SamplingError
+from repro.graph.digraph import DiGraph
+from repro.sampling.coverage import CoverageIndex
+from repro.utils.rng import RandomSource, as_generator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (mrr imports engine)
+    from repro.sampling.mrr import RootCountRule
+
+#: Default number of reverse samples generated per engine call.  Large
+#: enough to amortize NumPy dispatch over the whole batch; the price is a
+#: pooled ``batch * n`` boolean visitation bitset per sampler (one byte
+#: per bit — 256 MB at n = 1M), so memory-constrained callers on very
+#: large graphs should dial this down via the ``sample_batch_size`` knobs
+#: (the bitset is allocated lazily with ``np.zeros``, i.e. copy-on-write
+#: zero pages, and is reused across all calls of one sampler).
+DEFAULT_BATCH_SIZE = 256
+
+
+class RootDrawer(abc.ABC):
+    """Strategy producing the root sets for a batch of reverse samples."""
+
+    @abc.abstractmethod
+    def draw(
+        self, rng: np.random.Generator, count: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Roots for ``count`` samples as a CSR ``(roots, indptr)`` pair.
+
+        Each sample's roots must be distinct node ids; ``indptr`` has
+        length ``count + 1`` and starts at 0.
+        """
+
+
+class UniformRootDrawer(RootDrawer):
+    """One uniformly random root per sample — vanilla RR sets."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ConfigurationError(f"need n >= 1, got {n}")
+        self.n = int(n)
+
+    def draw(
+        self, rng: np.random.Generator, count: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        roots = rng.integers(self.n, size=count, dtype=np.int64)
+        return roots, np.arange(count + 1, dtype=np.int64)
+
+
+class RandomizedRoundingRootDrawer(RootDrawer):
+    """Multi-root sets with the paper's randomized-rounding count rule.
+
+    Root counts are drawn for the whole batch in one Bernoulli draw; the
+    distinct roots of all samples sharing a count ``k`` are then sampled
+    together — by vectorized rejection when ``k`` is small relative to
+    ``n`` (collisions are rare, the occasional colliding row is redrawn),
+    or by row-wise permutation when ``k`` is a sizable fraction of ``n``.
+    """
+
+    def __init__(self, rule: RootCountRule):
+        self.rule = rule
+        self.n = int(rule.n)
+
+    def draw(
+        self, rng: np.random.Generator, count: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        ks = np.full(count, self.rule.k_low, dtype=np.int64)
+        if self.rule.fraction > 0.0:
+            ks += rng.random(count) < self.rule.fraction
+        np.clip(ks, 1, self.n, out=ks)
+
+        indptr = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(ks, out=indptr[1:])
+        roots = np.empty(indptr[-1], dtype=np.int64)
+        for k in np.unique(ks):
+            rows = np.flatnonzero(ks == k)
+            block = self._distinct_rows(rng, len(rows), int(k))
+            positions = indptr[rows, None] + np.arange(k, dtype=np.int64)
+            roots[positions.ravel()] = block.ravel()
+        return roots, indptr
+
+    #: Workspace budget (elements) for the argpartition path; bounds the
+    #: per-chunk ``(rows, n)`` scratch to ~32 MB of float64 keys.
+    _WORKSPACE_ELEMENTS = 4_000_000
+
+    def _distinct_rows(
+        self, rng: np.random.Generator, rows: int, k: int
+    ) -> np.ndarray:
+        """``rows`` independent uniform k-subsets of ``range(n)``.
+
+        Two regimes, split by the birthday bound:
+
+        * ``k(k-1) <= 2n`` — whole-row rejection: a with-replacement draw
+          is kept only if all entries are distinct (per-row acceptance
+          ``~exp(-k(k-1)/2n) >= ~1/e``, so only rejected rows are redrawn
+          and the loop finishes in a handful of shrinking rounds), which
+          conditions on distinctness and is exactly uniform over
+          k-subsets.  Rejection must NOT be used beyond this band: for
+          ``k >> sqrt(n)`` the acceptance probability vanishes and the
+          loop effectively never terminates.
+        * otherwise — the positions of the ``k`` smallest of ``n`` iid
+          uniform keys per row are a uniform k-subset; one vectorized
+          ``argpartition`` per chunk, with chunks sized to keep the
+          ``(chunk, n)`` key matrix inside a fixed workspace budget.
+        """
+        if k == 1:
+            return rng.integers(self.n, size=(rows, 1), dtype=np.int64)
+        if k * (k - 1) <= 2 * self.n:
+            block = rng.integers(self.n, size=(rows, k), dtype=np.int64)
+            suspect = np.arange(rows)  # rows not yet known collision-free
+            while len(suspect):
+                ordered = np.sort(block[suspect], axis=1)
+                bad = suspect[(ordered[:, 1:] == ordered[:, :-1]).any(axis=1)]
+                if len(bad):
+                    block[bad] = rng.integers(
+                        self.n, size=(len(bad), k), dtype=np.int64
+                    )
+                suspect = bad
+            return block
+        block = np.empty((rows, k), dtype=np.int64)
+        chunk = max(1, self._WORKSPACE_ELEMENTS // self.n)
+        for start in range(0, rows, chunk):
+            stop = min(start + chunk, rows)
+            keys = rng.random((stop - start, self.n))
+            block[start:stop] = np.argpartition(keys, k - 1, axis=1)[:, :k]
+        return block
+
+
+class BatchSampler:
+    """Grows an (m)RR pool ``batch_size`` sets per vectorized engine call.
+
+    Parameters
+    ----------
+    graph:
+        The (residual) graph to sample in.
+    model:
+        Diffusion model providing
+        :meth:`~repro.diffusion.base.DiffusionModel.reverse_sample_batch`.
+    roots:
+        Root-selection strategy (uniform single root for RR pools, the
+        randomized-rounding rule for mRR pools).
+    seed:
+        Random source; pass the caller's generator to share one stream.
+    batch_size:
+        Samples per engine call.  Larger batches amortize dispatch further
+        but grow the per-call ``batch * n`` visitation bitset.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        model: DiffusionModel,
+        roots: RootDrawer,
+        seed: RandomSource = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
+        if graph.n < 1:
+            raise SamplingError("cannot sample reverse sets on an empty graph")
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        self.graph = graph
+        self.model = model
+        self.roots = roots
+        self.batch_size = int(batch_size)
+        self._rng = as_generator(seed)
+        # Pooled visitation bitset, allocated lazily at batch_size * n and
+        # restored to all-False by the BFS driver after every call — the
+        # batched analogue of the scalar samplers' pooled scratch.
+        self._scratch: np.ndarray = None
+
+    def sample_batch(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate ``count`` reverse samples in one engine call.
+
+        Returns the CSR-packed ``(members, indptr)`` pair produced by the
+        model's multi-source labeled reverse BFS.
+        """
+        if count < 0:
+            raise SamplingError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
+        if self._scratch is None or len(self._scratch) < count * self.graph.n:
+            self._scratch = np.zeros(
+                max(count, self.batch_size) * self.graph.n, dtype=bool
+            )
+        roots, roots_indptr = self.roots.draw(self._rng, count)
+        return self.model.reverse_sample_batch(
+            self.graph, roots, roots_indptr, self._rng, self._scratch
+        )
+
+    def fill(self, index: CoverageIndex, count: int) -> None:
+        """Append ``count`` fresh sets to ``index``, batch by batch.
+
+        The Python-level loop runs once per *batch*, never per set.
+        """
+        if count < 0:
+            raise SamplingError(f"count must be non-negative, got {count}")
+        remaining = count
+        while remaining > 0:
+            step = min(remaining, self.batch_size)
+            members, indptr = self.sample_batch(step)
+            index.add_batch(members, indptr)
+            remaining -= step
+
+
+def rr_batch_sampler(
+    graph: DiGraph,
+    model: DiffusionModel,
+    seed: RandomSource = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> BatchSampler:
+    """Engine for single-root RR pools."""
+    return BatchSampler(
+        graph, model, UniformRootDrawer(graph.n), seed, batch_size
+    )
+
+
+def mrr_batch_sampler(
+    graph: DiGraph,
+    model: DiffusionModel,
+    rule: RootCountRule,
+    seed: RandomSource = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> BatchSampler:
+    """Engine for multi-root mRR pools under a root-count rule."""
+    return BatchSampler(
+        graph, model, RandomizedRoundingRootDrawer(rule), seed, batch_size
+    )

@@ -29,6 +29,7 @@ from repro.diffusion.base import DiffusionModel
 from repro.errors import ConfigurationError, SamplingError
 from repro.graph.digraph import DiGraph
 from repro.sampling.coverage import CoverageIndex
+from repro.sampling.engine import DEFAULT_BATCH_SIZE, mrr_batch_sampler
 from repro.utils.rng import RandomSource, as_generator
 
 
@@ -141,7 +142,12 @@ class MRRSampler:
 
 
 class MRRCollection:
-    """Coverage index plus sampler, with truncated-spread estimation."""
+    """Coverage index plus batched engine, with truncated-spread estimation.
+
+    Pool growth runs through the vectorized
+    :class:`~repro.sampling.engine.BatchSampler`; the single-set
+    :class:`MRRSampler` remains available as the distributional reference.
+    """
 
     def __init__(
         self,
@@ -150,8 +156,13 @@ class MRRCollection:
         eta: int,
         seed: RandomSource = None,
         rule: RootCountRule = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ):
-        self.sampler = MRRSampler(graph, model, eta, seed, rule)
+        rng = as_generator(seed)
+        self.sampler = MRRSampler(graph, model, eta, rng, rule)
+        self.engine = mrr_batch_sampler(
+            graph, model, self.sampler.rule, rng, batch_size
+        )
         self.index = CoverageIndex(graph.n)
 
     @property
@@ -166,10 +177,10 @@ class MRRCollection:
         return len(self.index)
 
     def grow_to(self, theta: int) -> None:
-        """Ensure the pool holds at least ``theta`` mRR sets."""
+        """Ensure the pool holds at least ``theta`` mRR sets (batched)."""
         missing = theta - len(self.index)
         if missing > 0:
-            self.sampler.sample_into(self.index, missing)
+            self.engine.fill(self.index, missing)
 
     def estimated_truncated_spread(self, seeds: Sequence[int]) -> float:
         """``E[Gamma~(S)] ~ eta * Lambda_R(S) / |R|``.
@@ -197,12 +208,13 @@ def estimate_truncated_spread_mrr(
     theta: int = 2000,
     seed: RandomSource = None,
     rule: RootCountRule = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> float:
     """One-shot convenience: generate ``theta`` mRR sets and estimate.
 
     Used by tests, examples, and the rounding ablation; production code
     should reuse an :class:`MRRCollection` across queries instead.
     """
-    collection = MRRCollection(graph, model, eta, seed, rule)
+    collection = MRRCollection(graph, model, eta, seed, rule, batch_size)
     collection.grow_to(theta)
     return collection.estimated_truncated_spread(seeds)

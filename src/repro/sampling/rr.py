@@ -20,6 +20,7 @@ from repro.diffusion.base import DiffusionModel
 from repro.errors import SamplingError
 from repro.graph.digraph import DiGraph
 from repro.sampling.coverage import CoverageIndex
+from repro.sampling.engine import DEFAULT_BATCH_SIZE, rr_batch_sampler
 from repro.utils.rng import RandomSource, as_generator
 
 
@@ -48,14 +49,25 @@ class RRSampler:
 
 
 class RRCollection:
-    """A coverage index plus the sampler that fills it.
+    """A coverage index plus the batched engine that fills it.
 
     Convenience wrapper used by the baselines: supports OPIM-style doubling
-    (``grow_to``) and converts coverage counts into spread estimates.
+    (``grow_to``) and converts coverage counts into spread estimates.  Pool
+    growth runs through the vectorized
+    :class:`~repro.sampling.engine.BatchSampler`; the single-set
+    :class:`RRSampler` remains available as the distributional reference.
     """
 
-    def __init__(self, graph: DiGraph, model: DiffusionModel, seed: RandomSource = None):
-        self.sampler = RRSampler(graph, model, seed)
+    def __init__(
+        self,
+        graph: DiGraph,
+        model: DiffusionModel,
+        seed: RandomSource = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
+        rng = as_generator(seed)
+        self.sampler = RRSampler(graph, model, rng)
+        self.engine = rr_batch_sampler(graph, model, rng, batch_size)
         self.index = CoverageIndex(graph.n)
 
     @property
@@ -66,10 +78,10 @@ class RRCollection:
         return len(self.index)
 
     def grow_to(self, theta: int) -> None:
-        """Ensure the pool holds at least ``theta`` sets."""
+        """Ensure the pool holds at least ``theta`` sets (batched)."""
         missing = theta - len(self.index)
         if missing > 0:
-            self.sampler.sample_into(self.index, missing)
+            self.engine.fill(self.index, missing)
 
     def estimated_spread(self, seeds: Sequence[int]) -> float:
         """``E[I(S)] ~ n * Lambda_R(S) / |R|`` (unbiased)."""

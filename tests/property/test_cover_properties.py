@@ -7,6 +7,20 @@ from repro.sampling.coverage import CoverageIndex
 
 
 @st.composite
+def set_batches(draw, max_nodes=10, max_sets=12):
+    """Raw ``(n, sets)`` instances for add-vs-add_batch comparisons."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    sets = draw(
+        st.lists(
+            st.lists(st.integers(0, n - 1), min_size=1, max_size=n, unique=True),
+            min_size=1,
+            max_size=max_sets,
+        )
+    )
+    return n, sets
+
+
+@st.composite
 def coverage_instances(draw, max_nodes=10, max_sets=12):
     n = draw(st.integers(min_value=2, max_value=max_nodes))
     sets = draw(
@@ -80,3 +94,65 @@ def test_greedy_first_pick_is_argmax(index):
     result = index.greedy_max_coverage(1)
     _, best = index.argmax_node()
     assert result.covered == best
+
+
+def _as_csr(sets):
+    members = np.concatenate([np.asarray(s, dtype=np.int64) for s in sets])
+    indptr = np.zeros(len(sets) + 1, dtype=np.int64)
+    np.cumsum([len(s) for s in sets], out=indptr[1:])
+    return members, indptr
+
+
+@given(set_batches())
+@settings(max_examples=80, deadline=None)
+def test_add_batch_equals_repeated_add(raw):
+    """One packed add_batch must be indistinguishable from N adds."""
+    n, sets = raw
+    one_by_one = CoverageIndex(n)
+    for s in sets:
+        one_by_one.add(np.asarray(s, dtype=np.int64))
+    batched = CoverageIndex(n)
+    members, indptr = _as_csr(sets)
+    batched.add_batch(members, indptr)
+
+    assert len(batched) == len(one_by_one)
+    assert batched.total_size() == one_by_one.total_size()
+    assert np.array_equal(batched.coverage_counts(), one_by_one.coverage_counts())
+    for a, b in zip(batched.sets, one_by_one.sets):
+        assert np.array_equal(a, b)
+
+
+@given(set_batches(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_add_batch_greedy_cover_unchanged(raw, data):
+    """Greedy max-cover must not depend on how the pool was packed."""
+    n, sets = raw
+    one_by_one = CoverageIndex(n)
+    for s in sets:
+        one_by_one.add(np.asarray(s, dtype=np.int64))
+    batched = CoverageIndex(n)
+    # Split the batch at an arbitrary point to exercise buffer growth.
+    split = data.draw(st.integers(0, len(sets)))
+    for part in (sets[:split], sets[split:]):
+        if part:
+            batched.add_batch(*_as_csr(part))
+
+    budget = data.draw(st.integers(1, n))
+    a = one_by_one.greedy_max_coverage(budget)
+    b = batched.greedy_max_coverage(budget)
+    assert a.nodes == b.nodes
+    assert a.covered == b.covered
+    assert a.marginal_gains == b.marginal_gains
+
+
+@given(set_batches())
+@settings(max_examples=40, deadline=None)
+def test_packed_layout_roundtrip(raw):
+    """`packed()` exposes exactly the sets that went in, in order."""
+    n, sets = raw
+    index = CoverageIndex(n)
+    index.add_batch(*_as_csr(sets))
+    members, indptr = index.packed()
+    assert len(indptr) == len(sets) + 1
+    for i, s in enumerate(sets):
+        assert np.array_equal(members[indptr[i] : indptr[i + 1]], np.asarray(s))

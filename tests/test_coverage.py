@@ -32,6 +32,19 @@ class TestAdd:
         with pytest.raises(SamplingError):
             index.add(np.array([5]))
 
+    def test_duplicate_members_rejected(self):
+        # A repeated id inside one set would desynchronize the coverage
+        # counts from coverage_of_set (inflated argmax); reject loudly.
+        index = CoverageIndex(5)
+        with pytest.raises(SamplingError):
+            index.add(np.array([2, 2, 3]))
+        # Duplicates across different sets of one batch are legitimate.
+        index.add_batch(
+            np.array([2, 3, 2, 4], dtype=np.int64),
+            np.array([0, 2, 4], dtype=np.int64),
+        )
+        assert index.coverage_of(2) == 2
+
     def test_total_size(self):
         index = make_index(4, [[0, 1], [1, 2, 3]])
         assert index.total_size() == 5

@@ -106,6 +106,17 @@ class TestAccessors:
         with pytest.raises(EdgeError):
             g.edge_probability(0, 2)
 
+    def test_edge_probability_validates_both_endpoints(self):
+        # An out-of-range target must surface as NodeNotFoundError (like
+        # has_edge), not a misleading "edge does not exist" EdgeError.
+        g = make_triangle()
+        with pytest.raises(NodeNotFoundError):
+            g.edge_probability(0, 3)
+        with pytest.raises(NodeNotFoundError):
+            g.edge_probability(0, -1)
+        with pytest.raises(NodeNotFoundError):
+            g.edge_probability(3, 0)
+
     def test_edges_iteration_matches_arrays(self):
         g = make_triangle()
         listed = sorted(g.edges())
