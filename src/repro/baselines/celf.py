@@ -16,6 +16,17 @@ Two entry points:
 Lazy evaluation exploits submodularity: a node's marginal gain can only
 shrink as the seed set grows, so a stale upper bound that is already below
 the current best pick can be skipped without re-simulation.
+
+Spread estimation runs on the common-random-numbers evaluator by default
+(``crn=True``): one shared batch of ``samples`` realizations is drawn up
+front, the ``n``-singleton initial pass is a handful of batched labeled
+forward sweeps, and every lazy re-evaluation scores against the *same*
+worlds — so gain comparisons in the queue see identical noise and a run is
+a deterministic function of ``(graph, model, samples, seed)``.  Pass
+``crn=False`` for the historical per-cascade loop with fresh noise per
+estimate (kept as the benchmark/regression reference; its lazy queue mixes
+estimates from different draws, so repeated runs can return different seed
+sets).
 """
 
 from __future__ import annotations
@@ -25,10 +36,15 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.diffusion.base import DiffusionModel
-from repro.diffusion.montecarlo import estimate_spread
+from repro.diffusion.montecarlo import (
+    DEFAULT_MC_BATCH_SIZE,
+    CRNSpreadEvaluator,
+    estimate_spread,
+)
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraph
 from repro.utils.rng import RandomSource, as_generator
+from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_positive_int
 
 
@@ -70,6 +86,8 @@ def _run_celf(
     seed: RandomSource,
     max_seeds: int,
     stop_at_spread: Optional[float],
+    mc_batch_size: Optional[int],
+    crn: bool,
 ) -> CelfResult:
     rng = as_generator(seed)
     queue = _LazyQueue()
@@ -78,16 +96,41 @@ def _run_celf(
     simulations = 0
     skips = 0
 
-    def spread_of(candidate_seeds) -> float:
-        nonlocal simulations
-        simulations += samples
-        return estimate_spread(
-            graph, model, candidate_seeds, samples=samples, seed=rng
-        ).mean
+    if crn:
+        evaluator = CRNSpreadEvaluator(
+            graph, model, n_sims=samples, seed=rng,
+            mc_batch_size=mc_batch_size,
+        )
 
-    # Initial pass: every node's singleton spread.
-    for v in range(graph.n):
-        queue.push(spread_of([v]), v, 0)
+        def spread_of(candidate_seeds) -> float:
+            nonlocal simulations
+            simulations += samples
+            return evaluator.evaluate(candidate_seeds)
+
+        def singleton_spreads():
+            nonlocal simulations
+            simulations += samples * graph.n
+            return evaluator.evaluate_many([[v] for v in range(graph.n)])
+    else:
+
+        def spread_of(candidate_seeds) -> float:
+            nonlocal simulations
+            simulations += samples
+            return estimate_spread(
+                graph,
+                model,
+                candidate_seeds,
+                samples=samples,
+                seed=rng,
+                mc_batch_size=mc_batch_size or DEFAULT_MC_BATCH_SIZE,
+            ).mean
+
+        def singleton_spreads():
+            return [spread_of([v]) for v in range(graph.n)]
+
+    # Initial pass: every node's singleton spread (one batched CRN sweep).
+    for v, spread in enumerate(singleton_spreads()):
+        queue.push(float(spread), v, 0)
 
     while len(seeds) < max_seeds and len(queue):
         gain, node, stamp = queue.pop()
@@ -116,13 +159,32 @@ def celf_influence_maximization(
     k: int,
     samples: int = 200,
     seed: RandomSource = None,
+    mc_batch_size: Optional[int] = None,
+    crn: bool = True,
 ) -> CelfResult:
-    """Select ``k`` seeds by lazy greedy over Monte-Carlo spreads."""
+    """Select ``k`` seeds by lazy greedy over Monte-Carlo spreads.
+
+    With the default ``crn=True``, two runs with the same integer ``seed``
+    return identical seed sets (the estimator noise is pinned up front).
+    ``mc_batch_size`` bounds the cascades per vectorized engine call on
+    either path (``None`` = engine default).
+    """
     check_positive_int(k, "k")
     check_positive_int(samples, "samples")
+    if mc_batch_size is not None:
+        check_positive_int(mc_batch_size, "mc_batch_size")
     if k > graph.n:
         raise ConfigurationError(f"k={k} exceeds node count {graph.n}")
-    return _run_celf(graph, model, samples, seed, max_seeds=k, stop_at_spread=None)
+    return _run_celf(
+        graph,
+        model,
+        samples,
+        seed,
+        max_seeds=k,
+        stop_at_spread=None,
+        mc_batch_size=mc_batch_size,
+        crn=crn,
+    )
 
 
 def celf_seed_minimization(
@@ -131,6 +193,8 @@ def celf_seed_minimization(
     eta: int,
     samples: int = 200,
     seed: RandomSource = None,
+    mc_batch_size: Optional[int] = None,
+    crn: bool = True,
 ) -> CelfResult:
     """Add lazy-greedy seeds until the estimated spread reaches ``eta``.
 
@@ -140,8 +204,84 @@ def celf_seed_minimization(
     """
     check_positive_int(eta, "eta")
     check_positive_int(samples, "samples")
+    if mc_batch_size is not None:
+        check_positive_int(mc_batch_size, "mc_batch_size")
     if eta > graph.n:
         raise ConfigurationError(f"eta={eta} exceeds node count {graph.n}")
     return _run_celf(
-        graph, model, samples, seed, max_seeds=graph.n, stop_at_spread=float(eta)
+        graph,
+        model,
+        samples,
+        seed,
+        max_seeds=graph.n,
+        stop_at_spread=float(eta),
+        mc_batch_size=mc_batch_size,
+        crn=crn,
     )
+
+
+@dataclass(frozen=True)
+class CelfMinimizationRun:
+    """Harness-facing outcome of a timed CELF seed-minimization run.
+
+    Mirrors the fields the experiment harness reads off
+    :class:`~repro.baselines.ateuc.NonAdaptiveRunResult`; like ATEUC,
+    feasibility on a concrete realization is not guaranteed.
+    """
+
+    policy_name: str
+    eta: int
+    seeds: List[int]
+    estimated_spread: float
+    simulations_run: int
+    seconds: float
+
+    @property
+    def seed_count(self) -> int:
+        return len(self.seeds)
+
+
+class CELFMinimizer:
+    """Roster adapter: non-adaptive CELF seed minimization for the harness.
+
+    Wraps :func:`celf_seed_minimization` behind the same ``run(graph, eta,
+    seed)`` shape as :class:`~repro.baselines.ateuc.ATEUC`, so sweeps can
+    put the historical Monte-Carlo baseline next to the RR-based roster.
+    """
+
+    name = "CELF"
+
+    def __init__(
+        self,
+        model: DiffusionModel,
+        samples: int = 200,
+        mc_batch_size: Optional[int] = None,
+    ):
+        check_positive_int(samples, "samples")
+        if mc_batch_size is not None:
+            check_positive_int(mc_batch_size, "mc_batch_size")
+        self.model = model
+        self.samples = samples
+        self.mc_batch_size = mc_batch_size
+
+    def run(
+        self, graph: DiGraph, eta: int, seed: RandomSource = None
+    ) -> CelfMinimizationRun:
+        timer = Stopwatch()
+        with timer:
+            result = celf_seed_minimization(
+                graph,
+                self.model,
+                eta,
+                samples=self.samples,
+                seed=seed,
+                mc_batch_size=self.mc_batch_size,
+            )
+        return CelfMinimizationRun(
+            policy_name=self.name,
+            eta=eta,
+            seeds=result.seeds,
+            estimated_spread=result.estimated_spread,
+            simulations_run=result.simulations_run,
+            seconds=timer.elapsed,
+        )

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.core.policy import RandomNodeSelector, SeedSelector, Selection, SelectionDiagnostics
 from repro.diffusion.base import DiffusionModel
-from repro.diffusion.montecarlo import estimate_spread
+from repro.diffusion.montecarlo import DEFAULT_MC_BATCH_SIZE, estimate_spread
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraph
 from repro.graph.residual import ResidualGraph
@@ -71,14 +71,18 @@ def degree_seed_minimization(
     eta: int,
     samples: int = 200,
     seed: RandomSource = None,
+    mc_batch_size: int = DEFAULT_MC_BATCH_SIZE,
 ) -> DegreeMinimizationResult:
     """Add nodes in decreasing out-degree until MC spread reaches ``eta``.
 
     The simplest non-adaptive seed-minimization strategy; used in tests as
-    a floor that ATEUC must beat (or at least match) on seed count.
+    a floor that ATEUC must beat (or at least match) on seed count.  Each
+    verification estimate runs on the batched forward engine,
+    ``mc_batch_size`` cascades per vectorized call.
     """
     check_positive_int(eta, "eta")
     check_positive_int(samples, "samples")
+    check_positive_int(mc_batch_size, "mc_batch_size")
     if eta > graph.n:
         raise ConfigurationError(f"eta={eta} exceeds node count {graph.n}")
     rng = as_generator(seed)
@@ -87,7 +91,10 @@ def degree_seed_minimization(
     estimate = 0.0
     for node in order:
         seeds.append(int(node))
-        estimate = estimate_spread(graph, model, seeds, samples=samples, seed=rng).mean
+        estimate = estimate_spread(
+            graph, model, seeds, samples=samples, seed=rng,
+            mc_batch_size=mc_batch_size,
+        ).mean
         if estimate >= eta:
             break
     return DegreeMinimizationResult(seeds=seeds, estimated_spread=estimate, eta=eta)

@@ -19,7 +19,10 @@ from typing import List, Optional, Sequence
 
 from repro._version import __version__
 from repro.core.asti import ASTI
-from repro.diffusion.montecarlo import estimate_truncated_spread
+from repro.diffusion.montecarlo import (
+    DEFAULT_MC_BATCH_SIZE,
+    estimate_truncated_spread,
+)
 from repro.errors import ReproError
 from repro.experiments import datasets
 from repro.experiments.config import ExperimentConfig
@@ -83,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_BATCH_SIZE,
         help="(m)RR sets generated per vectorized engine call",
     )
+    sweep.add_argument(
+        "--mc-batch-size",
+        type=int,
+        default=None,
+        help="forward cascades per vectorized engine call for MC-based "
+        "roster entries like CELF (default: engine-chosen)",
+    )
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--out-csv", default=None, help="write per-run rows")
     sweep.add_argument("--out-json", default=None, help="write aggregate summary")
@@ -99,6 +109,19 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--theta", type=int, default=4000, help="mRR sets")
     estimate.add_argument("--mc-samples", type=int, default=0,
                           help="also run this many Monte-Carlo cascades")
+    estimate.add_argument(
+        "--mc-batch-size",
+        type=int,
+        default=DEFAULT_MC_BATCH_SIZE,
+        help="forward cascades per vectorized engine call",
+    )
+    estimate.add_argument(
+        "--mc-tolerance",
+        type=float,
+        default=None,
+        help="stop the Monte-Carlo cross-check early once its 95%% CI "
+        "half-width drops below this many nodes",
+    )
     estimate.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -207,6 +230,7 @@ def _cmd_sweep(args, out) -> int:
         graph_n=args.n,
         max_samples=args.max_samples,
         sample_batch_size=args.sample_batch_size,
+        mc_batch_size=args.mc_batch_size,
         seed=args.seed,
     )
     sweep = run_sweep(config)
@@ -255,10 +279,17 @@ def _cmd_estimate(args, out) -> int:
     )
     if args.mc_samples > 0:
         mc = estimate_truncated_spread(
-            graph, model, seeds, args.eta, samples=args.mc_samples, seed=args.seed
+            graph,
+            model,
+            seeds,
+            args.eta,
+            samples=args.mc_samples,
+            seed=args.seed,
+            mc_batch_size=args.mc_batch_size,
+            ci_halfwidth=args.mc_tolerance,
         )
         print(
-            f"Monte-Carlo cross-check ({args.mc_samples} cascades): "
+            f"Monte-Carlo cross-check ({mc.samples} cascades): "
             f"{mc.mean:.3f} +/- {1.96 * mc.std_error:.3f}",
             file=out,
         )

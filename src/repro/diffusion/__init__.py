@@ -1,13 +1,16 @@
 """Diffusion substrate: IC and LT models, realizations, estimation."""
 
-from repro.diffusion.base import DiffusionModel
+from repro.diffusion.base import DiffusionModel, normalize_seeds
 from repro.diffusion.ic import IndependentCascade
 from repro.diffusion.lt import LinearThreshold, check_lt_validity
 from repro.diffusion.realization import ICRealization, LTRealization, Realization
 from repro.diffusion.montecarlo import (
+    DEFAULT_MC_BATCH_SIZE,
+    CRNSpreadEvaluator,
     MonteCarloEstimate,
     estimate_activation_probabilities,
     estimate_spread,
+    estimate_spreads_many,
     estimate_truncated_spread,
 )
 from repro.diffusion.topic import (
@@ -26,6 +29,7 @@ from repro.diffusion.exact import (
 
 __all__ = [
     "DiffusionModel",
+    "normalize_seeds",
     "IndependentCascade",
     "LinearThreshold",
     "check_lt_validity",
@@ -37,7 +41,10 @@ __all__ = [
     "TopicMixture",
     "effective_probability_bounds",
     "MonteCarloEstimate",
+    "DEFAULT_MC_BATCH_SIZE",
+    "CRNSpreadEvaluator",
     "estimate_spread",
+    "estimate_spreads_many",
     "estimate_truncated_spread",
     "estimate_activation_probabilities",
     "enumerate_ic_realizations",

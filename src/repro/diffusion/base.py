@@ -4,13 +4,19 @@ A :class:`DiffusionModel` encapsulates everything the rest of the library
 needs to know about a propagation process:
 
 * forward: sample the set of nodes a seed set activates
-  (:meth:`DiffusionModel.simulate`), or sample a whole live-edge
+  (:meth:`DiffusionModel.simulate`, batched as
+  :meth:`DiffusionModel.simulate_batch`), or sample a whole live-edge
   :class:`~repro.diffusion.realization.Realization` up front
   (:meth:`DiffusionModel.sample_realization`) so the same world can be
   replayed deterministically — the adaptive session depends on this;
 * reverse: perform one stochastic reverse BFS from a set of root nodes
   (:meth:`DiffusionModel.reverse_sample`), the primitive underlying both
   single-root RR sets and the paper's multi-root mRR sets.
+
+Both batched directions run on the same :func:`run_labeled_bfs` driver: the
+frontiers of all samples advance in lockstep over one flat visitation
+bitset, and only the per-level edge-selection rule (a closure over the
+forward or reverse CSR) differs between models and directions.
 
 The two concrete models are :class:`~repro.diffusion.ic.IndependentCascade`
 and :class:`~repro.diffusion.lt.LinearThreshold`; the paper's algorithms are
@@ -25,11 +31,32 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.graph.digraph import DiGraph
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DiGraph, gather_csr_rows
 from repro.utils.rng import RandomSource, as_generator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.diffusion.realization import Realization
+
+
+def normalize_seeds(graph: DiGraph, seeds: Sequence[int]) -> np.ndarray:
+    """Validate and deduplicate a seed sequence into a sorted int64 array.
+
+    Every forward entry point (``simulate``, ``simulate_batch``, the
+    Monte-Carlo estimators, the CRN evaluator) funnels seed ids through this
+    helper so that out-of-range ids raise
+    :class:`~repro.errors.NodeNotFoundError` identically across IC, LT, and
+    the topic-aware model.  Duplicate ids are silently deduplicated: seeding
+    a node twice is indistinguishable from seeding it once under every model
+    in this library (activation is idempotent).
+    """
+    seeds = np.asarray(seeds, dtype=np.int64).reshape(-1)
+    if len(seeds):
+        if seeds.min() < 0 or seeds.max() >= graph.n:
+            offender = seeds[(seeds < 0) | (seeds >= graph.n)][0]
+            graph._check_node(int(offender))
+        seeds = np.unique(seeds)
+    return seeds
 
 
 class DiffusionModel(abc.ABC):
@@ -156,8 +183,73 @@ class DiffusionModel(abc.ABC):
         concrete models override with direct on-the-fly sampling which skips
         the realization allocation.
         """
+        seeds = normalize_seeds(graph, seeds)
         realization = self.sample_realization(graph, seed)
         return realization.reachable_from(seeds)
+
+    def simulate_batch(
+        self,
+        graph: DiGraph,
+        seeds: Sequence[int],
+        n_sims: int,
+        seed: RandomSource = None,
+        scratch: np.ndarray = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Sample ``n_sims`` independent cascades from one seed set.
+
+        The forward twin of :meth:`reverse_sample_batch`: every simulation
+        starts from the same (validated, deduplicated) ``seeds`` and draws
+        its own cascade noise.
+
+        Parameters
+        ----------
+        graph:
+            The graph to cascade over.
+        seeds:
+            Seed node ids; out-of-range ids raise
+            :class:`~repro.errors.NodeNotFoundError`, duplicates are
+            deduplicated (see :func:`normalize_seeds`).
+        n_sims:
+            Number of independent cascades to sample (>= 0).
+        seed:
+            Random source supplying the cascade noise.
+        scratch:
+            Optional pooled all-False boolean buffer of length at least
+            ``n_sims * graph.n``; restored to all False before returning.
+            ``None`` allocates a fresh bitset.
+
+        Returns
+        -------
+        (members, indptr):
+            CSR-packed results: ``members`` concatenates the activated node
+            ids of every simulation (seeds included) and ``indptr`` (length
+            ``n_sims + 1``) delimits them, so per-simulation spreads are
+            ``np.diff(indptr)`` and per-node activation counts are
+            ``np.bincount(members, minlength=graph.n)``.
+
+        The base implementation loops :meth:`simulate` once per cascade and
+        is the distributional reference; the concrete models override it
+        with a single multi-cascade labeled forward BFS that expands all
+        simulations' frontiers level by level (one vectorized noise draw
+        per level).
+        """
+        if n_sims < 0:
+            raise ConfigurationError(f"n_sims must be >= 0, got {n_sims}")
+        seeds = normalize_seeds(graph, seeds)
+        rng = as_generator(seed)
+        pieces = []
+        sizes = np.empty(n_sims, dtype=np.int64)
+        for i in range(n_sims):
+            active = self.simulate(graph, seeds, rng)
+            nodes = np.flatnonzero(active)
+            pieces.append(nodes)
+            sizes[i] = len(nodes)
+        indptr = np.zeros(n_sims + 1, dtype=np.int64)
+        np.cumsum(sizes, out=indptr[1:])
+        members = (
+            np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+        )
+        return members, indptr
 
     def spread(
         self,
@@ -176,14 +268,14 @@ class DiffusionModel(abc.ABC):
         return f"{type(self).__name__}()"
 
 
-def run_labeled_reverse_bfs(
+def run_labeled_bfs(
     n: int,
-    roots: np.ndarray,
-    roots_indptr: np.ndarray,
+    starts: np.ndarray,
+    starts_indptr: np.ndarray,
     propose,
     scratch: np.ndarray = None,
 ) -> "tuple[np.ndarray, np.ndarray]":
-    """Shared driver of the vectorized multi-sample reverse BFS.
+    """Shared driver of the vectorized multi-sample labeled BFS.
 
     All samples advance in lockstep: the frontier is a pair of parallel
     arrays ``(sample_ids, nodes)`` and visitation is one flat bitset keyed
@@ -191,9 +283,12 @@ def run_labeled_reverse_bfs(
     ``propose(frontier_sids, frontier_nodes)`` returns the candidate
     expansion as an array of such keys — it may freely contain duplicates
     and already-visited pairs; the driver filters, dedups, marks, and
-    collects.  Only the per-level edge-selection rule differs between
-    models (IC flips every in-edge coin; LT keeps at most one in-edge),
-    which is exactly what the callback encapsulates.
+    collects.  The driver is direction-agnostic: only the per-level
+    edge-selection rule differs between models and directions (reverse IC
+    flips every in-edge coin, forward IC every frontier out-edge coin,
+    reverse LT keeps at most one in-edge, forward LT accumulates weights
+    against per-``(sample, node)`` thresholds), which is exactly what the
+    callback encapsulates.
 
     ``scratch`` is an optional caller-pooled boolean buffer of length at
     least ``batch * n`` that is all False on entry; it is restored to all
@@ -202,17 +297,17 @@ def run_labeled_reverse_bfs(
     ``out``), so repeated engine calls on large graphs avoid allocating
     and zeroing a fresh bitset each time.
     """
-    roots = np.asarray(roots, dtype=np.int64)
-    roots_indptr = np.asarray(roots_indptr, dtype=np.int64)
-    batch = len(roots_indptr) - 1
-    root_sids = np.repeat(
-        np.arange(batch, dtype=np.int64), np.diff(roots_indptr)
+    starts = np.asarray(starts, dtype=np.int64)
+    starts_indptr = np.asarray(starts_indptr, dtype=np.int64)
+    batch = len(starts_indptr) - 1
+    start_sids = np.repeat(
+        np.arange(batch, dtype=np.int64), np.diff(starts_indptr)
     )
     visited = scratch if scratch is not None else np.zeros(batch * n, dtype=bool)
-    visited[root_sids * n + roots] = True
-    collected_sids = [root_sids]
-    collected_nodes = [roots]
-    frontier_sids, frontier_nodes = root_sids, roots
+    visited[start_sids * n + starts] = True
+    collected_sids = [start_sids]
+    collected_nodes = [starts]
+    frontier_sids, frontier_nodes = start_sids, starts
     while len(frontier_nodes):
         keys = propose(frontier_sids, frontier_nodes)
         if len(keys):
@@ -229,6 +324,49 @@ def run_labeled_reverse_bfs(
     if scratch is not None:
         visited[all_sids * n + all_nodes] = False  # restore the pooled buffer
     return pack_by_sample(all_sids, all_nodes, batch)
+
+
+#: The reverse-direction entry point: each sample's start set is its (m)RR
+#: roots and ``propose`` walks the in-CSR.  Alias of :func:`run_labeled_bfs`,
+#: kept under the established name used by ``reverse_sample_batch``.
+run_labeled_reverse_bfs = run_labeled_bfs
+
+#: The forward-direction entry point: each sample's start set is its seed
+#: set and ``propose`` walks the out-CSR.  Alias of :func:`run_labeled_bfs`.
+run_labeled_forward_bfs = run_labeled_bfs
+
+
+def expand_labeled_frontier(
+    indptr: np.ndarray,
+    frontier_sids: np.ndarray,
+    frontier_nodes: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """CSR positions and owning sample ids of a labeled frontier's edges.
+
+    The shared prologue of every ``propose`` closure: gathers the CSR
+    entries of all frontier nodes and labels each entry with the sample id
+    that proposed it.  Returns ``(positions, owners, degrees)`` —
+    ``positions`` indexes the CSR value arrays, ``owners`` is the parallel
+    sample-id array, and ``degrees`` (per frontier node) lets closures that
+    also need the proposing node run one more ``np.repeat``.
+    """
+    positions = gather_csr_rows(indptr, frontier_nodes)
+    degrees = indptr[frontier_nodes + 1] - indptr[frontier_nodes]
+    owners = np.repeat(frontier_sids, degrees)
+    return positions, owners, degrees
+
+
+def tile_starts(
+    seeds: np.ndarray, n_sims: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """CSR start sets for ``n_sims`` samples sharing one seed array.
+
+    The common prologue of the forward ``simulate_batch`` overrides: every
+    simulation's labeled BFS starts from the same seeds.
+    """
+    starts = np.tile(np.asarray(seeds, dtype=np.int64), n_sims)
+    starts_indptr = np.arange(n_sims + 1, dtype=np.int64) * len(seeds)
+    return starts, starts_indptr
 
 
 def pack_by_sample(

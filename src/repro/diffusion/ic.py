@@ -13,8 +13,16 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.diffusion.base import DiffusionModel, run_labeled_reverse_bfs
+from repro.diffusion.base import (
+    DiffusionModel,
+    expand_labeled_frontier,
+    normalize_seeds,
+    run_labeled_forward_bfs,
+    run_labeled_reverse_bfs,
+    tile_starts,
+)
 from repro.diffusion.realization import ICRealization
+from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraph, gather_csr_rows
 from repro.utils.rng import RandomSource, as_generator
 
@@ -47,10 +55,7 @@ class IndependentCascade(DiffusionModel):
         rng = as_generator(seed)
         indptr, targets, probs = graph.out_csr
         active = np.zeros(graph.n, dtype=bool)
-        for s in seeds:
-            s = int(s)
-            graph._check_node(s)
-            active[s] = True
+        active[normalize_seeds(graph, seeds)] = True
         frontier = np.flatnonzero(active)
         while len(frontier):
             positions = gather_csr_rows(indptr, frontier)
@@ -62,6 +67,46 @@ class IndependentCascade(DiffusionModel):
             active[fresh] = True
             frontier = fresh
         return active
+
+    def simulate_batch(
+        self,
+        graph: DiGraph,
+        seeds,
+        n_sims: int,
+        seed: RandomSource = None,
+        scratch: np.ndarray = None,
+    ):
+        """One multi-cascade labeled forward BFS sampling ``n_sims`` runs.
+
+        The forward twin of :meth:`reverse_sample_batch`: the shared
+        :func:`~repro.diffusion.base.run_labeled_bfs` driver advances every
+        simulation's frontier in lockstep, and this model's per-level rule
+        flips the out-edge coins of all frontiers in a single vectorized
+        draw.  Distributionally identical to ``n_sims`` independent
+        :meth:`simulate` calls — each ``(simulation, out-edge)`` coin is
+        still flipped at most once, when its source first activates within
+        that simulation.
+        """
+        if n_sims < 0:
+            raise ConfigurationError(f"n_sims must be >= 0, got {n_sims}")
+        seeds = normalize_seeds(graph, seeds)
+        rng = as_generator(seed)
+        indptr, targets, probs = graph.out_csr
+        n = graph.n
+
+        def flip_out_edge_coins(frontier_sids, frontier_nodes):
+            positions, owners, _ = expand_labeled_frontier(
+                indptr, frontier_sids, frontier_nodes
+            )
+            if len(positions) == 0:
+                return positions
+            fired = rng.random(len(positions)) < probs[positions]
+            return owners[fired] * n + targets[positions[fired]]
+
+        starts, starts_indptr = tile_starts(seeds, n_sims)
+        return run_labeled_forward_bfs(
+            n, starts, starts_indptr, flip_out_edge_coins, scratch
+        )
 
     def reverse_sample(
         self,
@@ -121,11 +166,11 @@ class IndependentCascade(DiffusionModel):
         n = graph.n
 
         def flip_in_edge_coins(frontier_sids, frontier_nodes):
-            positions = gather_csr_rows(indptr, frontier_nodes)
+            positions, owners, _ = expand_labeled_frontier(
+                indptr, frontier_sids, frontier_nodes
+            )
             if len(positions) == 0:
                 return positions
-            degrees = indptr[frontier_nodes + 1] - indptr[frontier_nodes]
-            owners = np.repeat(frontier_sids, degrees)
             fired = rng.random(len(positions)) < probs[positions]
             return owners[fired] * n + sources[positions[fired]]
 

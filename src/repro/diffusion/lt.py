@@ -18,9 +18,16 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.diffusion.base import DiffusionModel, run_labeled_reverse_bfs
+from repro.diffusion.base import (
+    DiffusionModel,
+    expand_labeled_frontier,
+    normalize_seeds,
+    run_labeled_forward_bfs,
+    run_labeled_reverse_bfs,
+    tile_starts,
+)
 from repro.diffusion.realization import LTRealization
-from repro.errors import DiffusionError
+from repro.errors import ConfigurationError, DiffusionError
 from repro.graph.digraph import DiGraph, gather_csr_rows
 from repro.utils.rng import RandomSource, as_generator
 
@@ -121,10 +128,7 @@ class LinearThreshold(DiffusionModel):
         thresholds = rng.random(graph.n)
         accumulated = np.zeros(graph.n, dtype=np.float64)
         active = np.zeros(graph.n, dtype=bool)
-        for s in seeds:
-            s = int(s)
-            graph._check_node(s)
-            active[s] = True
+        active[normalize_seeds(graph, seeds)] = True
         frontier = np.flatnonzero(active)
         while len(frontier):
             positions = gather_csr_rows(indptr, frontier)
@@ -139,6 +143,60 @@ class LinearThreshold(DiffusionModel):
             active[fresh] = True
             frontier = fresh
         return active
+
+    def simulate_batch(
+        self,
+        graph: DiGraph,
+        seeds,
+        n_sims: int,
+        seed: RandomSource = None,
+        scratch: np.ndarray = None,
+    ):
+        """One multi-cascade labeled forward BFS of the threshold process.
+
+        Per ``(simulation, node)`` pair the batch keeps a running sum of
+        incoming weight from activated neighbors and a uniform threshold,
+        in flat ``n_sims * n`` arrays keyed like the visitation bitset; a
+        node activates the first level its sum crosses its threshold,
+        exactly as in the scalar :meth:`simulate`.  Thresholds are drawn
+        lazily on a pair's first touch — iid uniforms, so distributionally
+        identical to drawing them all up front, but the number of draws
+        tracks the cascades' actual reach instead of ``n_sims * n`` (the
+        threshold array itself stays ``np.empty``: allocated virtual, only
+        touched pages materialize).  The flat float arrays are the memory
+        price of the batch, which is what the estimator chunking
+        (``mc_batch_size``) bounds.
+        """
+        self._ensure_valid(graph)
+        if n_sims < 0:
+            raise ConfigurationError(f"n_sims must be >= 0, got {n_sims}")
+        seeds = normalize_seeds(graph, seeds)
+        rng = as_generator(seed)
+        indptr, targets, probs = graph.out_csr
+        n = graph.n
+        thresholds = np.empty(n_sims * n, dtype=np.float64)
+        accumulated = np.empty(n_sims * n, dtype=np.float64)
+        touched_before = np.zeros(n_sims * n, dtype=bool)
+
+        def accumulate_and_cross(frontier_sids, frontier_nodes):
+            positions, owners, _ = expand_labeled_frontier(
+                indptr, frontier_sids, frontier_nodes
+            )
+            if len(positions) == 0:
+                return positions
+            keys = owners * n + targets[positions]
+            touched = np.unique(keys)
+            fresh = touched[~touched_before[touched]]
+            accumulated[fresh] = 0.0
+            thresholds[fresh] = rng.random(len(fresh))
+            touched_before[fresh] = True
+            np.add.at(accumulated, keys, probs[positions])
+            return touched[accumulated[touched] >= thresholds[touched]]
+
+        starts, starts_indptr = tile_starts(seeds, n_sims)
+        return run_labeled_forward_bfs(
+            n, starts, starts_indptr, accumulate_and_cross, scratch
+        )
 
     def reverse_sample(
         self,

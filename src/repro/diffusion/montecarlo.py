@@ -1,23 +1,67 @@
-"""Monte-Carlo spread estimation.
+"""Monte-Carlo spread estimation on the batched forward engine.
 
 The classic (pre-RR-set) way of estimating ``E[I(S)]`` and the truncated
-``E[Gamma(S)]``: average over independent forward simulations.  Slow but
-unbiased and dead simple — the test suite uses it as ground truth to
-validate the sampling-based estimators, and the oracle-greedy baseline uses
-it on graphs too big for exact enumeration.
+``E[Gamma(S)]``: average over independent forward simulations.  Unbiased and
+dead simple — the test suite uses it as ground truth to validate the
+sampling-based estimators, and the oracle-greedy and CELF baselines use it
+on graphs too big for exact enumeration.
+
+Two execution strategies share this module:
+
+* **fresh-noise estimation** (:func:`estimate_spread`,
+  :func:`estimate_truncated_spread`,
+  :func:`estimate_activation_probabilities`) — cascades are generated in
+  chunks of ``mc_batch_size`` through
+  :meth:`~repro.diffusion.base.DiffusionModel.simulate_batch`, one labeled
+  forward BFS per chunk instead of one Python-level BFS per cascade, with
+  an optional early stop once the normal-approximation CI half-width falls
+  below a tolerance;
+* **common-random-numbers evaluation** (:class:`CRNSpreadEvaluator`,
+  :func:`estimate_spreads_many`) — one shared batch of live-edge
+  realizations is sampled up front and arbitrarily many candidate seed sets
+  are scored against the *same* realizations, so comparisons between
+  candidates (greedy argmax, CELF's lazy queue) see identical noise and
+  differences reflect the candidates, not the sampling.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.diffusion.base import DiffusionModel
+from repro.diffusion.base import (
+    DiffusionModel,
+    expand_labeled_frontier,
+    normalize_seeds,
+    run_labeled_bfs,
+)
+from repro.diffusion.realization import ICRealization, LTRealization
 from repro.graph.digraph import DiGraph
 from repro.utils.rng import RandomSource, as_generator
 from repro.utils.validation import check_positive_int
+
+#: Default number of cascades generated per labeled forward BFS.  Mirrors
+#: the reverse engine's ``DEFAULT_BATCH_SIZE``: large enough to amortize
+#: NumPy dispatch over the chunk, while the chunk's ``mc_batch_size * n``
+#: visitation bitset (plus, under LT, two float arrays of the same shape)
+#: stays cache- and memory-friendly.  Memory-constrained callers on very
+#: large graphs should dial this down via the ``mc_batch_size`` knobs.
+DEFAULT_MC_BATCH_SIZE = 256
+
+#: Visitation-bitset budget (elements) of the CRN evaluator: candidate
+#: chunks are sized so ``chunk * n_sims * n`` stays below this (~32 MB of
+#: booleans), bounding the working set of one labeled forward pass.
+_CRN_BITSET_BUDGET = 32_000_000
+
+#: Active-node work budget per estimator chunk.  Batching pays off when
+#: cascades are small (dispatch-dominated); when they are large, a big
+#: chunk's scattered ``chunk * n`` accumulator writes fall out of cache and
+#: can lose to the already frontier-vectorized scalar loop.  After the
+#: first chunk the estimators therefore shrink the chunk so that
+#: ``chunk * mean_cascade_size`` stays near this budget.
+_CHUNK_WORK_BUDGET = 16_384
 
 
 @dataclass(frozen=True)
@@ -33,21 +77,103 @@ class MonteCarloEstimate:
         return (self.mean - z * self.std_error, self.mean + z * self.std_error)
 
 
+def _estimate_from_sizes(sizes: np.ndarray) -> MonteCarloEstimate:
+    samples = len(sizes)
+    std_error = (
+        float(sizes.std(ddof=1) / np.sqrt(samples)) if samples > 1 else 0.0
+    )
+    return MonteCarloEstimate(float(sizes.mean()), std_error, samples)
+
+
+def _chunked_spread_sizes(
+    graph: DiGraph,
+    model: DiffusionModel,
+    seeds: Sequence[int],
+    samples: int,
+    rng: np.random.Generator,
+    mc_batch_size: int,
+    ci_halfwidth: Optional[float],
+    eta: Optional[int] = None,
+    z: float = 1.96,
+) -> np.ndarray:
+    """Cascade sizes in chunks of ``mc_batch_size`` with optional early stop.
+
+    Always generates at least one full chunk (``min(samples,
+    mc_batch_size)`` cascades); after each chunk, if ``ci_halfwidth`` is
+    set and the running normal-approximation half-width ``z * stderr`` has
+    fallen below it, stops before reaching ``samples``.
+
+    ``mc_batch_size`` is an upper bound: once the first chunk reveals the
+    mean cascade size, subsequent chunks shrink toward
+    ``_CHUNK_WORK_BUDGET / mean`` so the per-chunk working set stays
+    cache-resident on large-cascade seed sets (see the budget's note).
+    """
+    pieces: List[np.ndarray] = []
+    generated = 0
+    running_sum = 0.0
+    running_sumsq = 0.0
+    chunk_cap = mc_batch_size
+    # One pooled visitation bitset reused across chunks (the first chunk is
+    # the largest); the BFS driver restores it to all-False after each call.
+    scratch = np.zeros(min(samples, mc_batch_size) * graph.n, dtype=bool)
+    while generated < samples:
+        step = min(samples - generated, chunk_cap)
+        _, indptr = model.simulate_batch(graph, seeds, step, rng, scratch)
+        raw_sizes = np.diff(indptr).astype(np.float64)
+        sizes = (
+            np.minimum(raw_sizes, float(eta)) if eta is not None else raw_sizes
+        )
+        pieces.append(sizes)
+        generated += step
+        if ci_halfwidth is not None and generated < samples:
+            # O(chunk) running moments, not a re-reduction of everything
+            # generated so far; cancellation can only push the variance a
+            # hair negative, hence the clamp.
+            running_sum += float(sizes.sum())
+            running_sumsq += float(sizes @ sizes)
+            if generated > 1:
+                variance = max(
+                    0.0,
+                    (running_sumsq - running_sum**2 / generated)
+                    / (generated - 1),
+                )
+                if z * np.sqrt(variance / generated) <= ci_halfwidth:
+                    break
+        if chunk_cap == mc_batch_size:  # adapt once, off the first chunk
+            # The cache guard must see the *untruncated* cascade sizes: an
+            # eta-clipped mean would hide exactly the large cascades whose
+            # scattered writes it exists to bound.
+            mean_size = max(1.0, float(raw_sizes.mean()))
+            chunk_cap = min(
+                mc_batch_size, max(8, int(_CHUNK_WORK_BUDGET / mean_size))
+            )
+    return np.concatenate(pieces)
+
+
 def estimate_spread(
     graph: DiGraph,
     model: DiffusionModel,
     seeds: Sequence[int],
     samples: int = 1000,
     seed: RandomSource = None,
+    mc_batch_size: int = DEFAULT_MC_BATCH_SIZE,
+    ci_halfwidth: Optional[float] = None,
 ) -> MonteCarloEstimate:
-    """Estimate ``E[I(S)]`` by averaging ``samples`` forward cascades."""
+    """Estimate ``E[I(S)]`` by averaging up to ``samples`` forward cascades.
+
+    Cascades are generated ``mc_batch_size`` at a time through the batched
+    forward engine.  When ``ci_halfwidth`` is given, estimation stops early
+    — but never before the first chunk — once the 95% CI half-width
+    (``1.96 * stderr``) drops to the tolerance; the returned estimate's
+    ``samples`` field reports how many cascades were actually used.
+    """
     check_positive_int(samples, "samples")
+    check_positive_int(mc_batch_size, "mc_batch_size")
     rng = as_generator(seed)
-    spreads = np.empty(samples, dtype=np.float64)
-    for i in range(samples):
-        spreads[i] = model.simulate(graph, seeds, rng).sum()
-    std_error = float(spreads.std(ddof=1) / np.sqrt(samples)) if samples > 1 else 0.0
-    return MonteCarloEstimate(float(spreads.mean()), std_error, samples)
+    sizes = _chunked_spread_sizes(
+        graph, model, seeds, samples, rng, mc_batch_size, ci_halfwidth
+    )
+    return _estimate_from_sizes(sizes)
 
 
 def estimate_truncated_spread(
@@ -57,16 +183,18 @@ def estimate_truncated_spread(
     eta: int,
     samples: int = 1000,
     seed: RandomSource = None,
+    mc_batch_size: int = DEFAULT_MC_BATCH_SIZE,
+    ci_halfwidth: Optional[float] = None,
 ) -> MonteCarloEstimate:
-    """Estimate ``E[Gamma(S)] = E[min{I(S), eta}]`` by simulation."""
+    """Estimate ``E[Gamma(S)] = E[min{I(S), eta}]`` by batched simulation."""
     check_positive_int(samples, "samples")
     check_positive_int(eta, "eta")
+    check_positive_int(mc_batch_size, "mc_batch_size")
     rng = as_generator(seed)
-    spreads = np.empty(samples, dtype=np.float64)
-    for i in range(samples):
-        spreads[i] = min(int(model.simulate(graph, seeds, rng).sum()), eta)
-    std_error = float(spreads.std(ddof=1) / np.sqrt(samples)) if samples > 1 else 0.0
-    return MonteCarloEstimate(float(spreads.mean()), std_error, samples)
+    sizes = _chunked_spread_sizes(
+        graph, model, seeds, samples, rng, mc_batch_size, ci_halfwidth, eta=eta
+    )
+    return _estimate_from_sizes(sizes)
 
 
 def estimate_activation_probabilities(
@@ -75,14 +203,223 @@ def estimate_activation_probabilities(
     seeds: Sequence[int],
     samples: int = 1000,
     seed: RandomSource = None,
+    mc_batch_size: int = DEFAULT_MC_BATCH_SIZE,
 ) -> np.ndarray:
     """Per-node activation probability under cascades from ``seeds``.
 
-    Diagnostic helper: returns a float array ``p[v] = Pr[v active]``.
+    Diagnostic helper: returns a float array ``p[v] = Pr[v active]``.  The
+    batched engine's packed output makes the accumulation one ``bincount``
+    per chunk instead of one dense mask addition per cascade.
     """
     check_positive_int(samples, "samples")
+    check_positive_int(mc_batch_size, "mc_batch_size")
     rng = as_generator(seed)
     totals = np.zeros(graph.n, dtype=np.float64)
-    for _ in range(samples):
-        totals += model.simulate(graph, seeds, rng)
+    generated = 0
+    scratch = np.zeros(min(samples, mc_batch_size) * graph.n, dtype=bool)
+    while generated < samples:
+        step = min(samples - generated, mc_batch_size)
+        members, _ = model.simulate_batch(graph, seeds, step, rng, scratch)
+        totals += np.bincount(members, minlength=graph.n)
+        generated += step
     return totals / samples
+
+
+class CRNSpreadEvaluator:
+    """Score many candidate seed sets against shared cascade noise.
+
+    Samples ``n_sims`` live-edge realizations once at construction, then
+    evaluates arbitrarily many candidate seed sets against those *same*
+    realizations (common random numbers).  Two properties make this the
+    right estimator for greedy selection loops:
+
+    * **comparability** — two candidates are scored on identical worlds, so
+      their difference is free of between-candidate sampling noise and a
+      superset never scores below its subset;
+    * **batch throughput** — each evaluation batch flattens the
+      ``(candidate, realization)`` pairs into jobs of one labeled forward
+      BFS (chunked to a visitation-bitset budget), so CELF's ``n``-singleton
+      initialization runs as a handful of vectorized sweeps instead of
+      ``n * n_sims`` per-cascade Python loops.
+
+    For IC-family models (including the topic-aware collapse) the
+    realizations stack into one flat live-edge matrix; for LT into one flat
+    chosen-in-edge matrix (the per-realization objects are released once
+    stacked).  Any other model falls back to per-realization
+    ``reachable_from`` replay, which is the distributional reference.
+
+    Construction is deterministic: the worlds are drawn from ``seed`` in
+    order, so two evaluators built with the same ``(graph, model, n_sims,
+    seed)`` score every candidate identically.
+
+    ``mc_batch_size``, when given, bounds the number of concurrently
+    replayed cascades (jobs) per labeled sweep — the CRN analogue of the
+    estimators' chunk size, giving the sweep the same ``mc_batch_size * n``
+    visitation-bitset working set.  The default (``None``) sizes sweeps
+    from ``bitset_budget`` instead, which amortizes dispatch further at the
+    price of a larger (~32 MB) bitset.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        model: DiffusionModel,
+        n_sims: int = 200,
+        seed: RandomSource = None,
+        bitset_budget: int = _CRN_BITSET_BUDGET,
+        mc_batch_size: Optional[int] = None,
+    ):
+        check_positive_int(n_sims, "n_sims")
+        if mc_batch_size is not None:
+            check_positive_int(mc_batch_size, "mc_batch_size")
+        self.graph = graph
+        self.model = model
+        self.n_sims = int(n_sims)
+        rng = as_generator(seed)
+        realizations = [
+            model.sample_realization(graph, rng) for _ in range(self.n_sims)
+        ]
+        self._bitset_budget = max(int(bitset_budget), graph.n)
+        self._mc_batch_size = mc_batch_size
+        self._scratch: np.ndarray = None
+        first = realizations[0]
+        if isinstance(first, ICRealization):
+            self._live = np.concatenate([r.live_edges for r in realizations])
+            self._vectorized = True
+        elif isinstance(first, LTRealization):
+            self._chosen = np.concatenate(
+                [r.chosen_source for r in realizations]
+            )
+            self._live = None
+            self._vectorized = True
+        else:
+            self._realizations = realizations  # fallback replay needs them
+            self._vectorized = False
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def spread_matrix(self, seed_sets: Sequence[Sequence[int]]) -> np.ndarray:
+        """``sizes[c, r] = I_phi_r(S_c)`` for every candidate/realization.
+
+        The raw material of every aggregate: a ``(len(seed_sets), n_sims)``
+        float matrix of realized spreads on the shared worlds.
+        """
+        sets = [normalize_seeds(self.graph, s) for s in seed_sets]
+        if not self._vectorized:
+            return np.array(
+                [[float(phi.spread(s)) for phi in self._realizations] for s in sets],
+                dtype=np.float64,
+            ).reshape(len(sets), self.n_sims)
+        n, r = self.graph.n, self.n_sims
+        # Jobs are candidate-major: job j = (candidate j // r, world j % r),
+        # and sweeps slice the job list directly, so a single candidate's
+        # realizations may span sweeps — the jobs-per-sweep bound holds
+        # even when it is smaller than n_sims.
+        total = len(sets) * r
+        job_sizes = np.empty(total, dtype=np.float64)
+        if self._mc_batch_size is not None:
+            sweep = self._mc_batch_size
+        else:
+            sweep = max(1, self._bitset_budget // n)
+        sweep = min(sweep, max(1, total))
+        if self._scratch is None or len(self._scratch) < sweep * n:
+            self._scratch = np.zeros(sweep * n, dtype=bool)
+        for begin in range(0, total, sweep):
+            jobs = range(begin, min(begin + sweep, total))
+            block_sets = [sets[j // r] for j in jobs]
+            starts = (
+                np.concatenate(block_sets)
+                if block_sets
+                else np.empty(0, dtype=np.int64)
+            )
+            lengths = np.fromiter(
+                (len(s) for s in block_sets), dtype=np.int64, count=len(jobs)
+            )
+            starts_indptr = np.zeros(len(jobs) + 1, dtype=np.int64)
+            np.cumsum(lengths, out=starts_indptr[1:])
+            world = np.arange(jobs.start, jobs.stop, dtype=np.int64) % r
+            _, indptr = run_labeled_bfs(
+                n, starts, starts_indptr, self._propose(world), self._scratch
+            )
+            job_sizes[jobs.start : jobs.stop] = np.diff(indptr)
+        return job_sizes.reshape(len(sets), r)
+
+    def evaluate_many(
+        self, seed_sets: Sequence[Sequence[int]], eta: Optional[int] = None
+    ) -> np.ndarray:
+        """Mean (optionally ``eta``-truncated) spread of every candidate.
+
+        Returns a float array aligned with ``seed_sets``; all entries are
+        averages over the same ``n_sims`` realizations.
+        """
+        sizes = self.spread_matrix(seed_sets)
+        if eta is not None:
+            check_positive_int(eta, "eta")
+            np.minimum(sizes, float(eta), out=sizes)
+        return sizes.mean(axis=1)
+
+    def evaluate(
+        self, seeds: Sequence[int], eta: Optional[int] = None
+    ) -> float:
+        """Mean spread of one candidate on the shared realizations."""
+        return float(self.evaluate_many([seeds], eta=eta)[0])
+
+    # ------------------------------------------------------------------
+    # Per-model deterministic expansion rules
+    # ------------------------------------------------------------------
+
+    def _propose(self, world: np.ndarray):
+        """The labeled-BFS expansion closure for a job->world mapping."""
+        indptr, targets, _ = self.graph.out_csr
+        n, m = self.graph.n, self.graph.m
+        if self._live is not None:
+            live = self._live
+
+            def propose_ic(frontier_sids, frontier_nodes):
+                positions, owners, _ = expand_labeled_frontier(
+                    indptr, frontier_sids, frontier_nodes
+                )
+                if len(positions) == 0:
+                    return positions
+                kept = live[world[owners] * m + positions]
+                return owners[kept] * n + targets[positions[kept]]
+
+            return propose_ic
+        chosen = self._chosen
+
+        def propose_lt(frontier_sids, frontier_nodes):
+            positions, owners, degrees = expand_labeled_frontier(
+                indptr, frontier_sids, frontier_nodes
+            )
+            if len(positions) == 0:
+                return positions
+            sources = np.repeat(frontier_nodes, degrees)
+            heads = targets[positions]
+            # Edge u -> v is live in world w exactly when v chose u in w.
+            kept = chosen[world[owners] * n + heads] == sources
+            return owners[kept] * n + heads[kept]
+
+        return propose_lt
+
+
+def estimate_spreads_many(
+    graph: DiGraph,
+    model: DiffusionModel,
+    seed_sets: Sequence[Sequence[int]],
+    n_sims: int = 200,
+    eta: Optional[int] = None,
+    seed: RandomSource = None,
+    mc_batch_size: Optional[int] = None,
+) -> np.ndarray:
+    """One-shot common-random-number evaluation of many candidate sets.
+
+    Convenience wrapper constructing a throwaway :class:`CRNSpreadEvaluator`
+    — callers that re-evaluate against the same noise (CELF's lazy queue)
+    should hold on to an evaluator instead.
+    """
+    evaluator = CRNSpreadEvaluator(
+        graph, model, n_sims=n_sims, seed=seed, mc_batch_size=mc_batch_size
+    )
+    return evaluator.evaluate_many(seed_sets, eta=eta)

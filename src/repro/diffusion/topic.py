@@ -164,9 +164,12 @@ class TopicAwareIC(IndependentCascade):
     """IC specialized to one item on a topic-aware graph.
 
     Holds the collapsed effective graph; all :class:`IndependentCascade`
-    machinery (forward simulation, realization sampling, reverse mRR
-    sampling) applies verbatim, which is precisely the paper's point about
-    model generality.
+    machinery (forward simulation and the batched ``simulate_batch``
+    forward engine, realization sampling, reverse mRR sampling, the
+    common-random-numbers evaluator over stacked ``ICRealization`` worlds)
+    applies verbatim, which is precisely the paper's point about model
+    generality — including the shared seed validation of
+    :func:`~repro.diffusion.base.normalize_seeds`.
 
     Use :meth:`for_item` to build the pair ``(model, effective_graph)``:
 

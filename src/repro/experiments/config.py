@@ -24,11 +24,14 @@ from repro.experiments import datasets
 from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.utils.validation import check_fraction, check_positive_int
 
-#: Roster labels understood by the harness.
-KNOWN_ALGORITHMS = ("ASTI", "ASTI-2", "ASTI-4", "ASTI-8", "AdaptIM", "ATEUC")
-
 #: The paper's full roster (Section 6.1).
-PAPER_ALGORITHMS: Tuple[str, ...] = KNOWN_ALGORITHMS
+PAPER_ALGORITHMS: Tuple[str, ...] = (
+    "ASTI", "ASTI-2", "ASTI-4", "ASTI-8", "AdaptIM", "ATEUC"
+)
+
+#: Roster labels understood by the harness: the paper roster plus the
+#: historical CELF Monte-Carlo baseline (non-adaptive, CRN-evaluated).
+KNOWN_ALGORITHMS = PAPER_ALGORITHMS + ("CELF",)
 
 
 @dataclass(frozen=True)
@@ -44,6 +47,8 @@ class ExperimentConfig:
     graph_n: Optional[int] = None                # None = dataset default
     max_samples: Optional[int] = None            # per-round mRR/RR cap
     sample_batch_size: int = DEFAULT_BATCH_SIZE  # engine sets per vectorized call
+    mc_batch_size: Optional[int] = None          # forward cascades per engine call
+                                                 # (None = engine default)
     seed: int = 0
     label: str = field(default="")
 
@@ -55,6 +60,8 @@ class ExperimentConfig:
             )
         check_positive_int(self.realizations, "realizations")
         check_positive_int(self.sample_batch_size, "sample_batch_size")
+        if self.mc_batch_size is not None:
+            check_positive_int(self.mc_batch_size, "mc_batch_size")
         check_fraction(self.epsilon, "epsilon")
         for fraction in self.eta_fractions:
             if not 0.0 < fraction <= 1.0:

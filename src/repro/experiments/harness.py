@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.baselines.adaptim import AdaptIM
 from repro.baselines.ateuc import ATEUC
+from repro.baselines.celf import CELFMinimizer
 from repro.core.asti import ASTI
 from repro.diffusion.base import DiffusionModel
 from repro.diffusion.realization import Realization
@@ -28,6 +29,14 @@ from repro.graph.digraph import DiGraph
 from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.utils.rng import spawn_generators
 from repro.utils.stats import summarize
+
+#: Roster entries that select one seed set up front and are then merely
+#: *evaluated* on each ground-truth realization.
+NON_ADAPTIVE_ALGORITHMS = ("ATEUC", "CELF")
+
+#: Monte-Carlo cascades per estimate for the CELF roster entry; modest on
+#: purpose — CELF is the historical baseline, not a headline competitor.
+CELF_HARNESS_SAMPLES = 100
 
 
 @dataclass(frozen=True)
@@ -78,6 +87,7 @@ def build_algorithm(
     epsilon: float,
     max_samples: Optional[int],
     sample_batch_size: int = DEFAULT_BATCH_SIZE,
+    mc_batch_size: Optional[int] = None,
 ):
     """Instantiate a roster entry from its label."""
     if label == "ASTI":
@@ -106,6 +116,10 @@ def build_algorithm(
         )
     if label == "ATEUC":
         return ATEUC(model, sample_batch_size=sample_batch_size)
+    if label == "CELF":
+        return CELFMinimizer(
+            model, samples=CELF_HARNESS_SAMPLES, mc_batch_size=mc_batch_size
+        )
     raise ConfigurationError(f"unknown algorithm label {label!r}")
 
 
@@ -130,15 +144,16 @@ def run_eta_point(
     max_samples: Optional[int] = None,
     seed: int = 0,
     sample_batch_size: int = DEFAULT_BATCH_SIZE,
+    mc_batch_size: Optional[int] = None,
 ) -> Dict[str, AlgorithmOutcome]:
     """Compare ``algorithms`` at a single threshold ``eta``."""
     outcomes: Dict[str, AlgorithmOutcome] = {}
     for label in algorithms:
         algorithm = build_algorithm(
-            label, model, epsilon, max_samples, sample_batch_size
+            label, model, epsilon, max_samples, sample_batch_size, mc_batch_size
         )
         outcome = AlgorithmOutcome(algorithm=label, eta=eta)
-        if label == "ATEUC":
+        if label in NON_ADAPTIVE_ALGORITHMS:
             _run_non_adaptive(algorithm, graph, eta, realizations, seed, outcome)
         else:
             _run_adaptive(algorithm, graph, eta, realizations, seed, outcome)
@@ -230,5 +245,6 @@ def run_sweep(config: ExperimentConfig) -> SweepResult:
             max_samples=config.max_samples,
             seed=config.seed,
             sample_batch_size=config.sample_batch_size,
+            mc_batch_size=config.mc_batch_size,
         )
     return SweepResult(config=config, eta_values=eta_values, outcomes=outcomes)

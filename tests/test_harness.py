@@ -73,6 +73,17 @@ class TestRunEtaPoint:
         counts = {r.seed_count for r in outcomes["ATEUC"].runs}
         assert len(counts) == 1  # one fixed seed set evaluated everywhere
 
+    def test_celf_roster_entry(self, small_social_damped):
+        model = IndependentCascade()
+        worlds = sample_shared_realizations(small_social_damped, model, 3, seed=4)
+        outcomes = run_eta_point(
+            small_social_damped, model, 15, ("CELF",), worlds, mc_batch_size=64
+        )
+        counts = {r.seed_count for r in outcomes["CELF"].runs}
+        assert len(counts) == 1  # non-adaptive: one selection, many worlds
+        assert len(outcomes["CELF"].runs) == 3
+        assert all(r.seed_count >= 1 for r in outcomes["CELF"].runs)
+
 
 class TestSweep:
     def test_structure(self, tiny_sweep):
