@@ -15,10 +15,14 @@ efficiency gap Figures 5 and 7 show.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence, Union
 
 from repro.baselines.opim import OpimNodeSelector
-from repro.core.asti import AdaptiveRunResult, run_adaptive_policy
+from repro.core.asti import (
+    AdaptiveRunResult,
+    run_adaptive_policy,
+    run_adaptive_policy_batch,
+)
 from repro.diffusion.base import DiffusionModel
 from repro.diffusion.realization import Realization
 from repro.graph.digraph import DiGraph
@@ -60,4 +64,18 @@ class AdaptIM:
         """Adaptive loop with the untruncated per-round objective."""
         return run_adaptive_policy(
             graph, eta, self.model, self.selector, realization, seed, max_rounds
+        )
+
+    def run_batch(
+        self,
+        graph: DiGraph,
+        eta: int,
+        realizations: Sequence[Realization],
+        seeds: Union[RandomSource, Sequence[RandomSource]] = None,
+        max_rounds: Optional[int] = None,
+    ) -> List[AdaptiveRunResult]:
+        """Batched engine entry; the OPIM selector has no pool carry-over,
+        so sessions share only the round-synchronous observation sweep."""
+        return run_adaptive_policy_batch(
+            graph, eta, self.model, self.selector, realizations, seeds, max_rounds
         )

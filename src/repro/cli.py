@@ -59,6 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_BATCH_SIZE,
         help="(m)RR sets generated per vectorized engine call",
     )
+    solve.add_argument(
+        "--no-reuse-pool",
+        dest="reuse_pool",
+        action="store_false",
+        help="rebuild the mRR pool from scratch every adaptive round "
+        "instead of carrying re-validated sets across rounds",
+    )
     solve.add_argument("--epsilon", type=float, default=0.5)
     solve.add_argument("--max-samples", type=int, default=None)
     solve.add_argument("--seed", type=int, default=0)
@@ -92,6 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="forward cascades per vectorized engine call for MC-based "
         "roster entries like CELF (default: engine-chosen)",
+    )
+    sweep.add_argument(
+        "--no-reuse-pool",
+        dest="reuse_pool",
+        action="store_false",
+        help="rebuild every adaptive round's mRR pool from scratch "
+        "(paper-exact; the default carries re-validated sets across rounds)",
     )
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--out-csv", default=None, help="write per-run rows")
@@ -194,6 +208,7 @@ def _cmd_solve(args, out) -> int:
         batch_size=args.batch_size,
         max_samples=args.max_samples,
         sample_batch_size=args.sample_batch_size,
+        reuse_pool=args.reuse_pool,
     )
     result = algorithm.run(graph, args.eta, seed=args.seed)
     print(
@@ -206,10 +221,16 @@ def _cmd_solve(args, out) -> int:
         for record in result.rounds:
             obs = record.observation
             seeds = ",".join(str(s) for s in obs.seeds)
+            carried = (
+                f" + {record.samples_carried} carried"
+                if record.samples_carried
+                else ""
+            )
             print(
                 f"  round {obs.round_index}: seeds [{seeds}] "
                 f"+{obs.marginal_spread} influenced "
-                f"({record.samples_generated} mRR sets, {record.seconds:.2f}s)",
+                f"({record.samples_generated} fresh{carried} mRR sets, "
+                f"{record.seconds:.2f}s)",
                 file=out,
             )
     return 0
@@ -231,6 +252,7 @@ def _cmd_sweep(args, out) -> int:
         max_samples=args.max_samples,
         sample_batch_size=args.sample_batch_size,
         mc_batch_size=args.mc_batch_size,
+        reuse_pool=args.reuse_pool,
         seed=args.seed,
     )
     sweep = run_sweep(config)

@@ -1,6 +1,12 @@
 """Core algorithms: the ASTI framework, TRIM, and TRIM-B."""
 
-from repro.core.asti import ASTI, AdaptiveRunResult, RoundRecord, run_adaptive_policy
+from repro.core.asti import (
+    ASTI,
+    AdaptiveRunResult,
+    RoundRecord,
+    run_adaptive_policy,
+    run_adaptive_policy_batch,
+)
 from repro.core.policy import (
     FirstNodeSelector,
     RandomNodeSelector,
@@ -8,7 +14,7 @@ from repro.core.policy import (
     Selection,
     SelectionDiagnostics,
 )
-from repro.core.session import AdaptiveSession, Observation
+from repro.core.session import AdaptiveSession, AdaptiveSessionBatch, Observation
 from repro.core.trim import TrimParameters, TrimSelector
 from repro.core.trim_b import TrimBParameters, TrimBSelector, batch_guarantee
 
@@ -17,12 +23,14 @@ __all__ = [
     "AdaptiveRunResult",
     "RoundRecord",
     "run_adaptive_policy",
+    "run_adaptive_policy_batch",
     "SeedSelector",
     "Selection",
     "SelectionDiagnostics",
     "FirstNodeSelector",
     "RandomNodeSelector",
     "AdaptiveSession",
+    "AdaptiveSessionBatch",
     "Observation",
     "TrimSelector",
     "TrimParameters",

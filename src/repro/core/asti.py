@@ -20,10 +20,12 @@ selectors so every algorithm in the evaluation is scored by the same loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.core.policy import SeedSelector
-from repro.core.session import AdaptiveSession, Observation
+from repro.core.session import AdaptiveSessionBatch, Observation
 from repro.core.trim import TrimSelector
 from repro.core.trim_b import TrimBSelector
 from repro.diffusion.base import DiffusionModel
@@ -31,7 +33,8 @@ from repro.diffusion.realization import Realization
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraph
 from repro.sampling.engine import DEFAULT_BATCH_SIZE
-from repro.utils.rng import RandomSource, as_generator
+from repro.sampling.mrr import CarriedMRRPool
+from repro.utils.rng import RandomSource, as_generator, spawn_generators
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_fraction, check_positive_int
 
@@ -41,8 +44,9 @@ class RoundRecord:
     """One round of the adaptive loop, for reporting."""
 
     observation: Observation
-    samples_generated: int
+    samples_generated: int          # fresh (m)RR sets paid for this round
     seconds: float
+    samples_carried: int = 0        # sets reused from the previous round
 
 
 @dataclass(frozen=True)
@@ -68,8 +72,13 @@ class AdaptiveRunResult:
 
     @property
     def total_samples(self) -> int:
-        """Total (m)RR sets generated across rounds."""
+        """Total fresh (m)RR sets generated (paid for) across rounds."""
         return sum(r.samples_generated for r in self.rounds)
+
+    @property
+    def total_samples_carried(self) -> int:
+        """Total mRR sets reused from earlier rounds instead of resampled."""
+        return sum(r.samples_carried for r in self.rounds)
 
     @property
     def marginal_spreads(self) -> List[int]:
@@ -111,37 +120,112 @@ def run_adaptive_policy(
     rng = as_generator(seed)
     if realization is None:
         realization = model.sample_realization(graph, rng)
+    return run_adaptive_policy_batch(
+        graph, eta, model, selector, [realization], seeds=[rng], max_rounds=max_rounds
+    )[0]
 
-    session = AdaptiveSession(graph, eta, realization)
-    rounds: List[RoundRecord] = []
+
+def run_adaptive_policy_batch(
+    graph: DiGraph,
+    eta: int,
+    model: DiffusionModel,
+    selector: SeedSelector,
+    realizations: Sequence[Realization],
+    seeds: Union[RandomSource, Sequence[RandomSource]] = None,
+    max_rounds: Optional[int] = None,
+) -> List[AdaptiveRunResult]:
+    """Run Algorithm 1 on many ground-truth worlds round-synchronously.
+
+    The batched adaptive-session engine: all sessions advance in lockstep
+    through an :class:`~repro.core.session.AdaptiveSessionBatch`, so every
+    round reveals its cascades in *one* batched reachability sweep, and the
+    selector's cross-round mRR pool (TRIM/TRIM-B with ``reuse_pool``) is
+    threaded per session via :meth:`SeedSelector.select_with_pool`.
+
+    Parameters mirror :func:`run_adaptive_policy` except:
+
+    realizations:
+        The ground-truth worlds, one session each (the harness passes its
+        shared per-dataset realizations).
+    seeds:
+        Either one random source — spawned into per-session streams with
+        :func:`~repro.utils.rng.spawn_generators` — or an explicit sequence
+        of per-session sources, so callers can reproduce sequential runs
+        stream for stream.
+
+    Returns one :class:`AdaptiveRunResult` per realization, in order.
+    Selector sampling draws only from the session's own stream, so results
+    are bit-identical to running the sessions one at a time.
+    """
+    check_positive_int(eta, "eta")
+    if eta > graph.n:
+        raise ConfigurationError(f"eta={eta} exceeds node count {graph.n}")
+    if seeds is None or isinstance(
+        seeds, (int, np.integer, np.random.Generator)
+    ):
+        rngs = spawn_generators(seeds, len(realizations))
+    else:
+        # Any other value must be the documented per-session sequence
+        # (list, tuple, array, ...), one random source per realization.
+        sources = list(seeds)
+        if len(sources) != len(realizations):
+            raise ConfigurationError(
+                f"got {len(sources)} random sources for {len(realizations)} "
+                f"realizations"
+            )
+        rngs = [as_generator(s) for s in sources]
+
+    batch = AdaptiveSessionBatch(graph, eta, realizations)
     limit = max_rounds if max_rounds is not None else eta
-    total = Stopwatch()
-    with total:
-        while not session.finished:
-            if len(rounds) >= limit:
+    rounds: List[List[RoundRecord]] = [[] for _ in realizations]
+    carries: List[Optional[CarriedMRRPool]] = [None for _ in realizations]
+    while not batch.all_finished:
+        active = batch.active_indices
+        selections = {}
+        select_seconds = {}
+        for sid in active:
+            if len(rounds[sid]) >= limit:
                 raise ConfigurationError(
                     f"adaptive run exceeded {limit} rounds; either max_rounds "
                     f"is too small or the selector is not making progress"
                 )
-            round_timer = Stopwatch()
-            with round_timer:
-                selection = selector.select(session.residual, rng)
-                observation = session.observe(selection.nodes)
-            rounds.append(
+            watch = Stopwatch()
+            with watch:
+                selections[sid], carries[sid] = selector.select_with_pool(
+                    batch.sessions[sid].residual, rngs[sid], carries[sid]
+                )
+            select_seconds[sid] = watch.elapsed
+        observe_timer = Stopwatch()
+        with observe_timer:
+            observations = batch.observe_batch(
+                {sid: selection.nodes for sid, selection in selections.items()}
+            )
+        observe_share = observe_timer.elapsed / len(active)
+        for sid in active:
+            rounds[sid].append(
                 RoundRecord(
-                    observation=observation,
-                    samples_generated=selection.diagnostics.samples_generated,
-                    seconds=round_timer.elapsed,
+                    observation=observations[sid],
+                    samples_generated=selections[sid].diagnostics.samples_generated,
+                    seconds=select_seconds[sid] + observe_share,
+                    samples_carried=selections[sid].diagnostics.samples_carried,
                 )
             )
-    return AdaptiveRunResult(
-        policy_name=selector.name,
-        eta=eta,
-        seeds=session.seeds_committed,
-        spread=session.activated_count,
-        rounds=rounds,
-        seconds=total.elapsed,
-    )
+            if batch.sessions[sid].finished:
+                # The final round's exported pool has no next round to feed;
+                # release the theta-sized snapshot instead of pinning it for
+                # the rest of the batch run.
+                carries[sid] = None
+    return [
+        AdaptiveRunResult(
+            policy_name=selector.name,
+            eta=eta,
+            seeds=session.seeds_committed,
+            spread=session.activated_count,
+            rounds=rounds[sid],
+            seconds=sum(record.seconds for record in rounds[sid]),
+        )
+        for sid, session in enumerate(batch.sessions)
+    ]
 
 
 class ASTI:
@@ -165,6 +249,7 @@ class ASTI:
         batch_size: int = 1,
         max_samples: Optional[int] = None,
         sample_batch_size: int = DEFAULT_BATCH_SIZE,
+        reuse_pool: bool = True,
     ):
         check_fraction(epsilon, "epsilon")
         check_positive_int(batch_size, "batch_size")
@@ -173,12 +258,14 @@ class ASTI:
         self.epsilon = epsilon
         self.batch_size = batch_size
         self.sample_batch_size = sample_batch_size
+        self.reuse_pool = reuse_pool
         if batch_size == 1:
             self.selector: SeedSelector = TrimSelector(
                 model,
                 epsilon=epsilon,
                 max_samples=max_samples,
                 sample_batch_size=sample_batch_size,
+                reuse_pool=reuse_pool,
             )
         else:
             self.selector = TrimBSelector(
@@ -187,6 +274,7 @@ class ASTI:
                 epsilon=epsilon,
                 max_samples=max_samples,
                 sample_batch_size=sample_batch_size,
+                reuse_pool=reuse_pool,
             )
 
     @property
@@ -206,6 +294,29 @@ class ASTI:
         result = run_adaptive_policy(
             graph, eta, self.model, self.selector, realization, seed, max_rounds
         )
+        return self._renamed(result)
+
+    def run_batch(
+        self,
+        graph: DiGraph,
+        eta: int,
+        realizations: Sequence[Realization],
+        seeds: Union[RandomSource, Sequence[RandomSource]] = None,
+        max_rounds: Optional[int] = None,
+    ) -> List[AdaptiveRunResult]:
+        """Solve one ASM instance on many worlds at once.
+
+        The facade over :func:`run_adaptive_policy_batch`: the harness (and
+        any caller with several ground-truth realizations of one graph)
+        gets round-synchronous batched observation plus per-session mRR
+        pool carry-over in a single call.
+        """
+        results = run_adaptive_policy_batch(
+            graph, eta, self.model, self.selector, realizations, seeds, max_rounds
+        )
+        return [self._renamed(result) for result in results]
+
+    def _renamed(self, result: AdaptiveRunResult) -> AdaptiveRunResult:
         # Present under the facade's name (selector reports TRIM/TRIM-B).
         return AdaptiveRunResult(
             policy_name=self.name,

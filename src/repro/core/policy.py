@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.residual import ResidualGraph
+from repro.sampling.mrr import CarriedMRRPool, CarryDiagnostics
 
 
 @dataclass(frozen=True)
@@ -26,6 +27,10 @@ class SelectionDiagnostics:
     iterations: int = 0            # doubling iterations used
     certified_ratio: float = 0.0   # Lambda_l / Lambda_u at the stop, if any
     estimated_gain: float = 0.0    # selector's own estimate of the batch gain
+    samples_carried: int = 0       # mRR sets reused from the previous round
+    #: Full carry-over accounting (drop reasons, fallback), when the
+    #: selector attempted pool reuse this round.
+    carry: Optional[CarryDiagnostics] = None
 
 
 @dataclass(frozen=True)
@@ -72,6 +77,25 @@ class SeedSelector(abc.ABC):
             Residual-local node ids; the driver maps them back to original
             ids and observes their realized influence.
         """
+
+    def select_with_pool(
+        self,
+        residual: ResidualGraph,
+        rng: np.random.Generator,
+        carry: Optional[CarriedMRRPool] = None,
+    ) -> Tuple[Selection, Optional[CarriedMRRPool]]:
+        """Choose seeds, optionally reusing the previous round's mRR pool.
+
+        The adaptive engine calls this instead of :meth:`select`, threading
+        each session's :class:`~repro.sampling.mrr.CarriedMRRPool` from one
+        round to the next.  The returned carry (or ``None``) becomes the
+        ``carry`` of the session's next round.
+
+        The default ignores ``carry`` and never exports one, so selectors
+        without pool reuse (baselines, test stubs) behave exactly as
+        before; TRIM and TRIM-B override it.
+        """
+        return self.select(residual, rng), None
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

@@ -21,7 +21,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.diffusion.realization import Realization
+from repro.diffusion.realization import Realization, batch_reachable_from
 from repro.errors import ConfigurationError, InfeasibleTargetError
 from repro.graph.digraph import DiGraph
 from repro.graph.residual import ResidualGraph, initial_residual, shrink_residual
@@ -101,14 +101,29 @@ class AdaptiveSession:
         Returns the :class:`Observation`; afterwards :attr:`residual`
         reflects round ``i + 1``.
         """
+        original_seeds = self._commit_seeds(local_seed_ids)
+        newly_mask = self.realization.reachable_from(
+            original_seeds, allowed=~self.active
+        )
+        return self._apply_observation(original_seeds, newly_mask)
+
+    def _commit_seeds(self, local_seed_ids: Sequence[int]) -> np.ndarray:
+        """Validate a seed batch and map it to original ids (observe, part 1)."""
         if self.finished:
             raise ConfigurationError("session already reached its target")
         if len(local_seed_ids) == 0:
             raise ConfigurationError("must commit at least one seed")
-        original_seeds = self.residual.to_original(local_seed_ids)
+        return self.residual.to_original(local_seed_ids)
 
-        inactive = ~self.active
-        newly_mask = self.realization.reachable_from(original_seeds, allowed=inactive)
+    def _apply_observation(
+        self, original_seeds: np.ndarray, newly_mask: np.ndarray
+    ) -> Observation:
+        """Fold a revealed cascade into the state (observe, part 2).
+
+        Split from :meth:`observe` so :class:`AdaptiveSessionBatch` can
+        compute many sessions' cascades in one batched sweep and still apply
+        each one through exactly this code path.
+        """
         newly = np.flatnonzero(newly_mask)
         self.active |= newly_mask
 
@@ -131,3 +146,73 @@ class AdaptiveSession:
             # loudly rather than loop forever.
             raise InfeasibleTargetError(self.residual.shortfall, self.residual.n)
         return observation
+
+
+class AdaptiveSessionBatch:
+    """Many adaptive sessions on one graph, advanced round-synchronously.
+
+    The experiment harness scores every policy on a fixed set of sampled
+    ground-truth worlds (the paper uses 20 per dataset).  Running those
+    sessions in lockstep lets the engine reveal all of a round's cascades
+    with *one* batched reachability sweep
+    (:func:`~repro.diffusion.realization.batch_reachable_from`) instead of
+    one Python-level BFS per realization; everything else — activation
+    bookkeeping, residual shrinking, history — goes through the exact same
+    :class:`AdaptiveSession` code, so a batch run is bit-identical to the
+    equivalent sequential runs.
+
+    Sessions finish at different times: :meth:`observe_batch` takes a
+    mapping from *unfinished* session indices to their seed batches and
+    skips the rest.
+    """
+
+    def __init__(
+        self, graph: DiGraph, eta: int, realizations: Sequence[Realization]
+    ):
+        if len(realizations) == 0:
+            raise ConfigurationError("need at least one realization")
+        self.graph = graph
+        self.eta = int(eta)
+        self.sessions = [
+            AdaptiveSession(graph, eta, phi) for phi in realizations
+        ]
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def active_indices(self) -> List[int]:
+        """Indices of sessions that have not reached their target yet."""
+        return [i for i, s in enumerate(self.sessions) if not s.finished]
+
+    @property
+    def all_finished(self) -> bool:
+        return all(s.finished for s in self.sessions)
+
+    def observe_batch(
+        self, selections: "dict[int, Sequence[int]]"
+    ) -> "dict[int, Observation]":
+        """Commit one round of seeds for several sessions at once.
+
+        ``selections`` maps session indices to residual-local seed ids; a
+        finished session must not appear.  All cascades are revealed in one
+        batched sweep; returns the per-session :class:`Observation` under
+        the same keys.
+        """
+        if not selections:
+            raise ConfigurationError("observe_batch needs at least one selection")
+        indices = sorted(selections)
+        committed = {
+            sid: self.sessions[sid]._commit_seeds(selections[sid])
+            for sid in indices
+        }
+        allowed = np.stack([~self.sessions[sid].active for sid in indices])
+        newly = batch_reachable_from(
+            [self.sessions[sid].realization for sid in indices],
+            [committed[sid] for sid in indices],
+            allowed=allowed,
+        )
+        return {
+            sid: self.sessions[sid]._apply_observation(committed[sid], newly[row])
+            for row, sid in enumerate(indices)
+        }

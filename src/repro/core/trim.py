@@ -13,7 +13,7 @@ pool size ``theta_max`` is reached, which happens with probability at most
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from repro.errors import BudgetExhaustedError, InfeasibleTargetError
 from repro.graph.residual import ResidualGraph
 from repro.sampling.bounds import coverage_lower_bound, coverage_upper_bound
 from repro.sampling.engine import DEFAULT_BATCH_SIZE
-from repro.sampling.mrr import MRRCollection
+from repro.sampling.mrr import CarriedMRRPool, build_round_pool
 from repro.utils.validation import check_fraction, check_positive_int
 
 _ONE_MINUS_INV_E = 1.0 - 1.0 / math.e
@@ -90,6 +90,14 @@ class TrimSelector(SeedSelector):
         mRR sets generated per vectorized engine call when growing the
         pool (see :class:`~repro.sampling.engine.BatchSampler`); purely a
         throughput knob, distinct from TRIM-B's seed batch ``b``.
+    reuse_pool:
+        Carry the mRR pool across rounds when driven through
+        :meth:`select_with_pool` (the adaptive engine): sets whose members
+        are all still inactive and whose root count matches the new
+        round's rule are re-validated instead of resampled (see
+        :class:`~repro.sampling.mrr.CarriedMRRPool` for the invariant and
+        the from-scratch fallback).  ``False`` restores the paper-exact
+        fresh pool every round.
     """
 
     def __init__(
@@ -99,6 +107,7 @@ class TrimSelector(SeedSelector):
         max_samples: Optional[int] = None,
         strict_budget: bool = False,
         sample_batch_size: int = DEFAULT_BATCH_SIZE,
+        reuse_pool: bool = True,
     ):
         check_fraction(epsilon, "epsilon")
         check_positive_int(sample_batch_size, "sample_batch_size")
@@ -107,25 +116,38 @@ class TrimSelector(SeedSelector):
         self.max_samples = max_samples
         self.strict_budget = strict_budget
         self.sample_batch_size = sample_batch_size
+        self.reuse_pool = reuse_pool
         self.name = "TRIM"
         self.batch_size = 1
 
     def select(self, residual: ResidualGraph, rng: np.random.Generator) -> Selection:
+        selection, _ = self.select_with_pool(residual, rng)
+        return selection
+
+    def select_with_pool(
+        self,
+        residual: ResidualGraph,
+        rng: np.random.Generator,
+        carry: Optional[CarriedMRRPool] = None,
+    ) -> Tuple[Selection, Optional[CarriedMRRPool]]:
         n = residual.n
         eta = residual.shortfall
         if eta > n:
             raise InfeasibleTargetError(eta, n)
         if n == 1:
             # Only one inactive node left: no sampling needed.
-            return Selection(nodes=[0], diagnostics=SelectionDiagnostics(estimated_gain=1.0))
+            selection = Selection(
+                nodes=[0], diagnostics=SelectionDiagnostics(estimated_gain=1.0)
+            )
+            return selection, None
 
         params = TrimParameters(n, eta, self.epsilon, self.max_samples)
-        pool = MRRCollection(
-            residual.graph,
+        pool, carry_stats = build_round_pool(
+            residual,
             self.model,
-            eta,
-            seed=rng,
+            rng,
             batch_size=self.sample_batch_size,
+            carry=carry if self.reuse_pool else None,
         )
         pool.grow_to(params.theta_0)
 
@@ -155,15 +177,19 @@ class TrimSelector(SeedSelector):
             )
 
         gain = pool.estimated_node_truncated_spread(best_node)
-        return Selection(
+        selection = Selection(
             nodes=[int(best_node)],
             diagnostics=SelectionDiagnostics(
-                samples_generated=len(pool),
+                samples_generated=pool.fresh_count,
                 iterations=iterations_used,
                 certified_ratio=certified,
                 estimated_gain=gain,
+                samples_carried=pool.adopted_count,
+                carry=carry_stats if carry is not None else None,
             ),
         )
+        new_carry = pool.export_carry(residual) if self.reuse_pool else None
+        return selection, new_carry
 
     def __repr__(self) -> str:
         return f"TrimSelector(epsilon={self.epsilon})"

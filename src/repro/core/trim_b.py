@@ -11,7 +11,7 @@ Section 4.2).  ``b = 1`` recovers TRIM exactly.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from repro.sampling.bounds import (
     log_binomial,
 )
 from repro.sampling.engine import DEFAULT_BATCH_SIZE
-from repro.sampling.mrr import MRRCollection
+from repro.sampling.mrr import CarriedMRRPool, build_round_pool
 from repro.utils.validation import check_fraction, check_positive_int
 
 _ONE_MINUS_INV_E = 1.0 - 1.0 / math.e
@@ -112,6 +112,7 @@ class TrimBSelector(SeedSelector):
         max_samples: Optional[int] = None,
         strict_budget: bool = False,
         sample_batch_size: int = DEFAULT_BATCH_SIZE,
+        reuse_pool: bool = True,
     ):
         check_fraction(epsilon, "epsilon")
         check_positive_int(b, "b")
@@ -122,10 +123,20 @@ class TrimBSelector(SeedSelector):
         self.max_samples = max_samples
         self.strict_budget = strict_budget
         self.sample_batch_size = sample_batch_size
+        self.reuse_pool = reuse_pool
         self.name = f"TRIM-B({b})"
         self.batch_size = b
 
     def select(self, residual: ResidualGraph, rng: np.random.Generator) -> Selection:
+        selection, _ = self.select_with_pool(residual, rng)
+        return selection
+
+    def select_with_pool(
+        self,
+        residual: ResidualGraph,
+        rng: np.random.Generator,
+        carry: Optional[CarriedMRRPool] = None,
+    ) -> Tuple[Selection, Optional[CarriedMRRPool]]:
         n = residual.n
         eta = residual.shortfall
         if eta > n:
@@ -133,18 +144,19 @@ class TrimBSelector(SeedSelector):
         b = min(self.b, n, eta)
         if n <= b:
             # Seeding everything that's left trivially meets the target.
-            return Selection(
+            selection = Selection(
                 nodes=list(range(n)),
                 diagnostics=SelectionDiagnostics(estimated_gain=float(eta)),
             )
+            return selection, None
 
         params = TrimBParameters(n, eta, self.epsilon, b, self.max_samples)
-        pool = MRRCollection(
-            residual.graph,
+        pool, carry_stats = build_round_pool(
+            residual,
             self.model,
-            eta,
-            seed=rng,
+            rng,
             batch_size=self.sample_batch_size,
+            carry=carry if self.reuse_pool else None,
         )
         pool.grow_to(params.theta_0)
 
@@ -174,15 +186,19 @@ class TrimBSelector(SeedSelector):
             )
 
         gain = pool.estimated_truncated_spread(batch)
-        return Selection(
+        selection = Selection(
             nodes=[int(v) for v in batch],
             diagnostics=SelectionDiagnostics(
-                samples_generated=len(pool),
+                samples_generated=pool.fresh_count,
                 iterations=iterations_used,
                 certified_ratio=certified,
                 estimated_gain=gain,
+                samples_carried=pool.adopted_count,
+                carry=carry_stats if carry is not None else None,
             ),
         )
+        new_carry = pool.export_carry(residual) if self.reuse_pool else None
+        return selection, new_carry
 
     def __repr__(self) -> str:
         return f"TrimBSelector(b={self.b}, epsilon={self.epsilon})"

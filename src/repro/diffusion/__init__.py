@@ -3,7 +3,12 @@
 from repro.diffusion.base import DiffusionModel, normalize_seeds
 from repro.diffusion.ic import IndependentCascade
 from repro.diffusion.lt import LinearThreshold, check_lt_validity
-from repro.diffusion.realization import ICRealization, LTRealization, Realization
+from repro.diffusion.realization import (
+    ICRealization,
+    LTRealization,
+    Realization,
+    batch_reachable_from,
+)
 from repro.diffusion.montecarlo import (
     DEFAULT_MC_BATCH_SIZE,
     CRNSpreadEvaluator,
@@ -35,6 +40,7 @@ __all__ = [
     "check_lt_validity",
     "Realization",
     "ICRealization",
+    "batch_reachable_from",
     "LTRealization",
     "TopicAwareGraph",
     "TopicAwareIC",

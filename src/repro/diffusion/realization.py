@@ -15,11 +15,11 @@ as the policy commits seeds.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import NodeNotFoundError
+from repro.errors import DiffusionError, NodeNotFoundError
 from repro.graph.digraph import DiGraph, gather_csr_rows
 
 
@@ -164,3 +164,120 @@ class LTRealization(Realization):
     def live_edge_count(self) -> int:
         """Number of live edges, i.e. nodes that selected an in-edge."""
         return int((self.chosen_source >= 0).sum())
+
+
+def batch_reachable_from(
+    realizations: Sequence[Realization],
+    seeds_per: Sequence[Sequence[int]],
+    allowed: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Reachability of many (realization, seed set) pairs in one sweep.
+
+    The observation half of the batched adaptive engine: session ``s``
+    activates the nodes reachable from ``seeds_per[s]`` over the live edges
+    of ``realizations[s]``, restricted to ``allowed[s]`` (a ``(batch, n)``
+    boolean mask; ``None`` allows every node).  All realizations must be
+    worlds of the *same* graph object — the harness scores every policy
+    against one dataset graph with many sampled worlds.
+
+    Homogeneous IC or LT batches run as one multi-session labeled forward
+    BFS on the shared :func:`~repro.diffusion.base.run_labeled_bfs` driver,
+    with per-session live-edge flags (IC) or chosen in-edges (LT) stacked
+    flat and keyed ``session_id * m + edge`` / ``session_id * n + node``.
+    Mixed or unknown realization types fall back to one
+    :meth:`Realization.reachable_from` call per session, which the batch
+    path must match bit for bit (observation is deterministic given the
+    realization).
+
+    Returns a ``(batch, n)`` boolean activation matrix.
+    """
+    from repro.diffusion.base import expand_labeled_frontier, run_labeled_bfs
+
+    if len(realizations) == 0:
+        raise DiffusionError("batch_reachable_from needs at least one realization")
+    if len(realizations) != len(seeds_per):
+        raise DiffusionError(
+            f"got {len(realizations)} realizations but {len(seeds_per)} seed sets"
+        )
+    graph = realizations[0].graph
+    for phi in realizations[1:]:
+        if phi.graph is not graph:
+            raise DiffusionError(
+                "all realizations in a batch must share one graph object"
+            )
+    batch, n = len(realizations), graph.n
+    if allowed is not None:
+        allowed = np.asarray(allowed, dtype=bool)
+        if allowed.shape != (batch, n):
+            raise DiffusionError(
+                f"allowed must have shape ({batch}, {n}), got {allowed.shape}"
+            )
+
+    same_type = all(type(phi) is type(realizations[0]) for phi in realizations)
+    homogeneous_ic = same_type and isinstance(realizations[0], ICRealization)
+    homogeneous_lt = same_type and isinstance(realizations[0], LTRealization)
+    if not (homogeneous_ic or homogeneous_lt):
+        rows = [
+            phi.reachable_from(
+                seeds, None if allowed is None else allowed[sid]
+            )
+            for sid, (phi, seeds) in enumerate(zip(realizations, seeds_per))
+        ]
+        return np.stack(rows)
+
+    # Start sets: per-session seed validation identical to _start_mask.
+    start_lists: List[np.ndarray] = []
+    for sid, seeds in enumerate(seeds_per):
+        mask = realizations[sid]._start_mask(
+            seeds, None if allowed is None else allowed[sid]
+        )
+        start_lists.append(np.flatnonzero(mask))
+    starts = (
+        np.concatenate(start_lists) if start_lists else np.empty(0, dtype=np.int64)
+    )
+    starts_indptr = np.zeros(batch + 1, dtype=np.int64)
+    np.cumsum([len(s) for s in start_lists], out=starts_indptr[1:])
+
+    out_indptr, targets, _ = graph.out_csr
+    allowed_flat = None if allowed is None else allowed.reshape(-1)
+
+    if homogeneous_ic:
+        m = graph.m
+        live_flat = np.concatenate([phi.live_edges for phi in realizations])
+
+        def propose(frontier_sids, frontier_nodes):
+            positions, owners, _ = expand_labeled_frontier(
+                out_indptr, frontier_sids, frontier_nodes
+            )
+            keep = live_flat[owners * m + positions]
+            candidates = targets[positions[keep]]
+            owners = owners[keep]
+            if allowed_flat is not None:
+                ok = allowed_flat[owners * n + candidates]
+                candidates, owners = candidates[ok], owners[ok]
+            return owners * n + candidates
+
+    else:
+        chosen_flat = np.concatenate(
+            [phi.chosen_source for phi in realizations]
+        )
+
+        def propose(frontier_sids, frontier_nodes):
+            positions, owners, degrees = expand_labeled_frontier(
+                out_indptr, frontier_sids, frontier_nodes
+            )
+            sources = np.repeat(frontier_nodes, degrees)
+            candidates = targets[positions]
+            # Edge u -> v is live in session s exactly when v chose u there.
+            keep = chosen_flat[owners * n + candidates] == sources
+            candidates, owners = candidates[keep], owners[keep]
+            if allowed_flat is not None:
+                ok = allowed_flat[owners * n + candidates]
+                candidates, owners = candidates[ok], owners[ok]
+            return owners * n + candidates
+
+    members, indptr = run_labeled_bfs(n, starts, starts_indptr, propose)
+    visited = np.zeros(batch * n, dtype=bool)
+    session_of = np.repeat(np.arange(batch, dtype=np.int64), np.diff(indptr))
+    visited[session_of * n + members] = True
+    return visited.reshape(batch, n)

@@ -49,6 +49,7 @@ class ExperimentConfig:
     sample_batch_size: int = DEFAULT_BATCH_SIZE  # engine sets per vectorized call
     mc_batch_size: Optional[int] = None          # forward cascades per engine call
                                                  # (None = engine default)
+    reuse_pool: bool = True                      # carry mRR pools across rounds
     seed: int = 0
     label: str = field(default="")
 

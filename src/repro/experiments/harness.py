@@ -88,6 +88,7 @@ def build_algorithm(
     max_samples: Optional[int],
     sample_batch_size: int = DEFAULT_BATCH_SIZE,
     mc_batch_size: Optional[int] = None,
+    reuse_pool: bool = True,
 ):
     """Instantiate a roster entry from its label."""
     if label == "ASTI":
@@ -97,6 +98,7 @@ def build_algorithm(
             batch_size=1,
             max_samples=max_samples,
             sample_batch_size=sample_batch_size,
+            reuse_pool=reuse_pool,
         )
     if label.startswith("ASTI-"):
         batch = int(label.split("-", 1)[1])
@@ -106,6 +108,7 @@ def build_algorithm(
             batch_size=batch,
             max_samples=max_samples,
             sample_batch_size=sample_batch_size,
+            reuse_pool=reuse_pool,
         )
     if label == "AdaptIM":
         return AdaptIM(
@@ -145,12 +148,19 @@ def run_eta_point(
     seed: int = 0,
     sample_batch_size: int = DEFAULT_BATCH_SIZE,
     mc_batch_size: Optional[int] = None,
+    reuse_pool: bool = True,
 ) -> Dict[str, AlgorithmOutcome]:
     """Compare ``algorithms`` at a single threshold ``eta``."""
     outcomes: Dict[str, AlgorithmOutcome] = {}
     for label in algorithms:
         algorithm = build_algorithm(
-            label, model, epsilon, max_samples, sample_batch_size, mc_batch_size
+            label,
+            model,
+            epsilon,
+            max_samples,
+            sample_batch_size,
+            mc_batch_size,
+            reuse_pool,
         )
         outcome = AlgorithmOutcome(algorithm=label, eta=eta)
         if label in NON_ADAPTIVE_ALGORITHMS:
@@ -163,10 +173,20 @@ def run_eta_point(
 
 def _run_adaptive(algorithm, graph, eta, realizations, seed, outcome) -> None:
     # Each realization gets an independent sampling stream derived from the
-    # harness seed, so reruns are bit-identical.
+    # harness seed, so reruns are bit-identical — and identical between the
+    # batched engine and the sequential fallback, which consume the same
+    # per-session streams in the same per-session order.
     streams = spawn_generators(seed + 1, len(realizations))
-    for index, (phi, rng) in enumerate(zip(realizations, streams)):
-        result = algorithm.run(graph, eta, realization=phi, seed=rng)
+    if hasattr(algorithm, "run_batch"):
+        # The adaptive-session engine: round-synchronous batched observation
+        # plus per-session mRR pool carry-over (ASTI, AdaptIM).
+        results = algorithm.run_batch(graph, eta, realizations, seeds=streams)
+    else:
+        results = [
+            algorithm.run(graph, eta, realization=phi, seed=rng)
+            for phi, rng in zip(realizations, streams)
+        ]
+    for index, result in enumerate(results):
         outcome.runs.append(
             RunObservation(
                 realization_index=index,
@@ -246,5 +266,6 @@ def run_sweep(config: ExperimentConfig) -> SweepResult:
             seed=config.seed,
             sample_batch_size=config.sample_batch_size,
             mc_batch_size=config.mc_batch_size,
+            reuse_pool=config.reuse_pool,
         )
     return SweepResult(config=config, eta_values=eta_values, outcomes=outcomes)

@@ -97,11 +97,12 @@ def shrink_residual(
     observing a seed's spread inside ``current.graph``).  The shortfall
     decreases by the number of removals and is floored at 0.
     """
-    activated = np.zeros(current.n, dtype=bool)
-    for v in newly_activated_local:
-        if not 0 <= v < current.n:
-            raise GraphError(f"activated node {v} out of residual range {current.n}")
-        activated[v] = True
+    ids = np.asarray(newly_activated_local, dtype=np.int64).reshape(-1)
+    out_of_range = (ids < 0) | (ids >= current.n)
+    if out_of_range.any():
+        v = int(ids[out_of_range][0])
+        raise GraphError(f"activated node {v} out of residual range {current.n}")
+    activated = np.bincount(ids, minlength=current.n).astype(bool)
     removed = int(activated.sum())
     if removed == 0:
         raise GraphError("a round must activate at least the selected seed")

@@ -19,9 +19,12 @@ from repro.sampling.engine import (
 )
 from repro.sampling.rr import RRCollection, RRSampler
 from repro.sampling.mrr import (
+    CarriedMRRPool,
+    CarryDiagnostics,
     MRRCollection,
     MRRSampler,
     RootCountRule,
+    build_round_pool,
     estimate_truncated_spread_mrr,
 )
 from repro.sampling.estimators import (
@@ -52,8 +55,11 @@ __all__ = [
     "RRSampler",
     "RRCollection",
     "MRRSampler",
+    "CarriedMRRPool",
+    "CarryDiagnostics",
     "MRRCollection",
     "RootCountRule",
+    "build_round_pool",
     "estimate_truncated_spread_mrr",
     "EstimatorGuarantee",
     "MRR_RANDOMIZED_ROUNDING",

@@ -90,13 +90,21 @@ class CoverageIndex:
             members, np.asarray([0, len(members)], dtype=np.int64)
         )
 
-    def add_batch(self, members: np.ndarray, indptr: np.ndarray) -> None:
+    def add_batch(
+        self, members: np.ndarray, indptr: np.ndarray, validate: bool = True
+    ) -> None:
         """Bulk-append a CSR batch of sets.
 
         ``members`` concatenates the new sets' node ids; ``indptr`` (length
         ``batch + 1``, starting at 0) delimits them.  Equivalent to calling
         :meth:`add` once per set, but the packed copy and the coverage-count
         update are single vectorized operations regardless of batch size.
+
+        ``validate=False`` skips the bounds / non-empty / duplicate checks
+        for batches that provably satisfy the invariants already — the
+        adaptive engine's pool carry-over re-adopts sets that lived in a
+        coverage index the round before, and the duplicate check's full
+        sort is pure overhead there.
         """
         members = np.asarray(members, dtype=np.int64)
         indptr = np.asarray(indptr, dtype=np.int64)
@@ -105,22 +113,23 @@ class CoverageIndex:
                 "indptr must start at 0 and end at len(members)"
             )
         sizes = np.diff(indptr)
-        if (sizes <= 0).any():
-            # An empty reverse sample cannot happen (roots are members), but
-            # guard anyway: an empty set covers nothing and breaks argmax
-            # invariants silently.
-            raise SamplingError("cannot add an empty set to the coverage index")
-        if len(members) and (members.min() < 0 or members.max() >= self.n):
-            raise SamplingError("set contains node ids outside the graph")
-        # A node repeated inside one set would inflate its coverage count
-        # relative to coverage_of_set; reject rather than corrupt silently.
-        # Keying members by their set id makes the duplicate check one sort.
-        set_of_member = np.repeat(
-            np.arange(len(sizes), dtype=np.int64), sizes
-        )
-        keyed = np.sort(set_of_member * self.n + members)
-        if len(keyed) > 1 and (keyed[1:] == keyed[:-1]).any():
-            raise SamplingError("a set contains duplicate node ids")
+        if validate:
+            if (sizes <= 0).any():
+                # An empty reverse sample cannot happen (roots are members),
+                # but guard anyway: an empty set covers nothing and breaks
+                # argmax invariants silently.
+                raise SamplingError("cannot add an empty set to the coverage index")
+            if len(members) and (members.min() < 0 or members.max() >= self.n):
+                raise SamplingError("set contains node ids outside the graph")
+            # A node repeated inside one set would inflate its coverage count
+            # relative to coverage_of_set; reject rather than corrupt silently.
+            # Keying members by their set id makes the duplicate check one sort.
+            set_of_member = np.repeat(
+                np.arange(len(sizes), dtype=np.int64), sizes
+            )
+            keyed = np.sort(set_of_member * self.n + members)
+            if len(keyed) > 1 and (keyed[1:] == keyed[:-1]).any():
+                raise SamplingError("a set contains duplicate node ids")
 
         batch = len(indptr) - 1
         used = self._indptr[self._num_sets]

@@ -208,32 +208,53 @@ class BatchSampler:
         Returns the CSR-packed ``(members, indptr)`` pair produced by the
         model's multi-source labeled reverse BFS.
         """
+        members, indptr, _ = self._sample_batch_counted(count)
+        return members, indptr
+
+    def _sample_batch_counted(
+        self, count: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`sample_batch` plus the per-sample root counts.
+
+        The root counts feed the adaptive engine's cross-round pool
+        carry-over, which re-validates retained mRR sets against the next
+        round's root-count rule.
+        """
         if count < 0:
             raise SamplingError(f"count must be non-negative, got {count}")
         if count == 0:
-            return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.zeros(1, dtype=np.int64), empty
         if self._scratch is None or len(self._scratch) < count * self.graph.n:
             self._scratch = np.zeros(
                 max(count, self.batch_size) * self.graph.n, dtype=bool
             )
         roots, roots_indptr = self.roots.draw(self._rng, count)
-        return self.model.reverse_sample_batch(
+        members, indptr = self.model.reverse_sample_batch(
             self.graph, roots, roots_indptr, self._rng, self._scratch
         )
+        return members, indptr, np.diff(roots_indptr)
 
-    def fill(self, index: CoverageIndex, count: int) -> None:
+    def fill(self, index: CoverageIndex, count: int) -> np.ndarray:
         """Append ``count`` fresh sets to ``index``, batch by batch.
 
         The Python-level loop runs once per *batch*, never per set.
+        Returns the per-set root counts in generation order (all ones for
+        single-root RR pools).
         """
         if count < 0:
             raise SamplingError(f"count must be non-negative, got {count}")
         remaining = count
+        collected = []
         while remaining > 0:
             step = min(remaining, self.batch_size)
-            members, indptr = self.sample_batch(step)
+            members, indptr, root_counts = self._sample_batch_counted(step)
             index.add_batch(members, indptr)
+            collected.append(root_counts)
             remaining -= step
+        if not collected:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(collected)
 
 
 def rr_batch_sampler(

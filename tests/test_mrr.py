@@ -6,10 +6,12 @@ import pytest
 from repro.diffusion.exact import exact_expected_truncated_spread
 from repro.errors import ConfigurationError, SamplingError
 from repro.graph import generators
+from repro.graph.residual import initial_residual, shrink_residual
 from repro.sampling.mrr import (
     MRRCollection,
     MRRSampler,
     RootCountRule,
+    build_round_pool,
     estimate_truncated_spread_mrr,
 )
 
@@ -159,3 +161,93 @@ class TestMRRCollection:
         assert pool.estimated_node_truncated_spread(3) == pytest.approx(
             pool.estimated_truncated_spread([3])
         )
+
+
+class TestCarriedPool:
+    """Cross-round carry-over: export, re-validation, fallback."""
+
+    def _pool(self, graph, model, eta, theta=60, seed=4):
+        residual = initial_residual(graph, eta)
+        collection = MRRCollection(graph, model, eta, seed=seed)
+        collection.grow_to(theta)
+        return residual, collection
+
+    def test_root_counts_tracked(self, small_social, ic_model):
+        _, collection = self._pool(small_social, ic_model, eta=12)
+        assert len(collection.root_counts) == len(collection)
+        rule = collection.sampler.rule
+        assert set(np.unique(collection.root_counts)) <= set(rule.support())
+        assert collection.adopted_count == 0
+        assert collection.fresh_count == len(collection)
+
+    def test_export_identity_roundtrip(self, small_social, ic_model):
+        residual, collection = self._pool(small_social, ic_model, eta=12)
+        carry = collection.export_carry(residual)
+        kept, diagnostics = carry.revalidate(residual)
+        assert kept is not None
+        members, indptr, root_counts = kept
+        assert diagnostics.sets_carried == len(collection)
+        assert diagnostics.fallback is None
+        # Round 1's residual is the identity mapping: bit-equal round-trip.
+        packed_members, packed_indptr = collection.index.packed()
+        assert np.array_equal(members, packed_members)
+        assert np.array_equal(indptr, packed_indptr)
+        assert np.array_equal(root_counts, collection.root_counts)
+
+    def test_sets_with_activated_members_dropped(self, small_social, ic_model):
+        residual, collection = self._pool(small_social, ic_model, eta=12)
+        carry = collection.export_carry(residual)
+        # Activate the highest-coverage node: every set containing it dies.
+        hot, coverage = collection.index.argmax_node()
+        shrunk = shrink_residual(residual, [hot])
+        kept, diagnostics = carry.revalidate(shrunk)
+        assert diagnostics.dropped_activated == coverage
+        if kept is not None:
+            members, indptr, _ = kept
+            # Survivors are remapped to the shrunk residual's local ids.
+            assert diagnostics.sets_carried == len(indptr) - 1
+            if len(members):
+                assert members.max() < shrunk.n
+            restored = shrunk.original_ids[members]
+            assert hot not in set(restored.tolist())
+
+    def test_regime_shift_falls_back(self, small_social, ic_model):
+        residual, collection = self._pool(small_social, ic_model, eta=12)
+        carry = collection.export_carry(residual)
+        # A shrunk residual whose n/eta ratio leaves the carried support
+        # entirely: k was ~ n/12 = 10; after 10 activations the shortfall
+        # is 2 and the new rule needs k ~ 55.
+        rng = np.random.default_rng(0)
+        activated = rng.choice(residual.n, size=10, replace=False)
+        shrunk = shrink_residual(residual, activated)
+        assert not set(
+            RootCountRule.for_target(shrunk.n, shrunk.shortfall).support()
+        ) & set(np.unique(carry.root_counts))
+        kept, diagnostics = carry.revalidate(shrunk)
+        assert kept is None
+        assert "regime" in diagnostics.fallback
+
+    def test_adopt_requires_empty_pool(self, small_social, ic_model):
+        residual, collection = self._pool(small_social, ic_model, eta=12)
+        carry = collection.export_carry(residual)
+        kept, _ = carry.revalidate(residual)
+        with pytest.raises(SamplingError):
+            collection.adopt(*kept)
+        fresh = MRRCollection(small_social, ic_model, 12, seed=9)
+        fresh.adopt(*kept)
+        assert fresh.adopted_count == len(collection)
+        assert fresh.fresh_count == 0
+        fresh.grow_to(len(collection) + 10)
+        assert fresh.fresh_count == 10
+
+    def test_build_round_pool_adopts_then_tops_up(self, small_social, ic_model):
+        residual, collection = self._pool(small_social, ic_model, eta=12)
+        carry = collection.export_carry(residual)
+        pool, diagnostics = build_round_pool(
+            residual, ic_model, np.random.default_rng(3), carry=carry
+        )
+        assert diagnostics.sets_carried == len(collection)
+        assert pool.adopted_count == len(collection)
+        pool.grow_to(len(collection) + 25)
+        assert pool.fresh_count == 25
+        assert len(pool.root_counts) == len(pool)

@@ -90,3 +90,69 @@ class TestLTRealization:
         phi = LTRealization(g, np.array([-1, 0, 0, 0]))
         assert phi.spread([0]) == 4
         assert phi.spread([1]) == 1
+
+
+class TestBatchReachableFrom:
+    def _graph(self):
+        from repro.graph import generators, weighting
+
+        return weighting.scaled_cascade(
+            generators.preferential_attachment(150, 2, seed=9, directed=False), 0.6
+        )
+
+    @pytest.mark.parametrize("model_fixture", ["ic_model", "lt_model"])
+    def test_matches_per_session_loop(self, model_fixture, request):
+        from repro.diffusion.realization import batch_reachable_from
+
+        model = request.getfixturevalue(model_fixture)
+        graph = self._graph()
+        phis = [model.sample_realization(graph, seed=i) for i in range(5)]
+        seeds_per = [[i, (7 * i + 3) % graph.n] for i in range(5)]
+        allowed = np.ones((5, graph.n), dtype=bool)
+        allowed[:, ::3] = False
+        allowed[0] = True  # one unrestricted session in the batch
+        batched = batch_reachable_from(phis, seeds_per, allowed)
+        for row, (phi, seeds) in enumerate(zip(phis, seeds_per)):
+            assert np.array_equal(
+                batched[row], phi.reachable_from(seeds, allowed[row])
+            )
+
+    def test_mixed_models_fall_back(self, ic_model, lt_model):
+        from repro.diffusion.realization import batch_reachable_from
+
+        graph = self._graph()
+        phis = [
+            ic_model.sample_realization(graph, seed=0),
+            lt_model.sample_realization(graph, seed=1),
+        ]
+        batched = batch_reachable_from(phis, [[0], [1]])
+        for row, phi in enumerate(phis):
+            assert np.array_equal(batched[row], phi.reachable_from([row]))
+
+    def test_validation_errors(self, ic_model):
+        from repro.diffusion.realization import batch_reachable_from
+        from repro.errors import DiffusionError
+        from repro.graph import generators
+
+        graph = self._graph()
+        other = generators.path_graph(3)
+        phi = ic_model.sample_realization(graph, seed=0)
+        with pytest.raises(DiffusionError):
+            batch_reachable_from([], [])
+        with pytest.raises(DiffusionError):
+            batch_reachable_from([phi], [[0], [1]])
+        with pytest.raises(DiffusionError):
+            batch_reachable_from(
+                [phi, ic_model.sample_realization(other, seed=1)], [[0], [0]]
+            )
+        with pytest.raises(DiffusionError):
+            batch_reachable_from([phi], [[0]], allowed=np.ones((2, 2), dtype=bool))
+
+    def test_out_of_range_seed_raises(self, ic_model):
+        from repro.diffusion.realization import batch_reachable_from
+        from repro.errors import NodeNotFoundError
+
+        graph = self._graph()
+        phi = ic_model.sample_realization(graph, seed=0)
+        with pytest.raises(NodeNotFoundError):
+            batch_reachable_from([phi], [[graph.n]])

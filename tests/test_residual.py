@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.errors import GraphError
-from repro.graph import generators
-from repro.graph.residual import initial_residual, shrink_residual
+from repro.graph import generators, weighting
+from repro.graph.residual import ResidualGraph, initial_residual, shrink_residual
 
 
 class TestInitialResidual:
@@ -81,3 +81,62 @@ class TestShrink:
         res2 = shrink_residual(res, [1])
         with pytest.raises(GraphError):
             res2.local_of(1)
+
+
+class TestShrinkVectorizedRegression:
+    """The vectorized shrink must round-trip exactly like the old loop."""
+
+    @staticmethod
+    def _reference_shrink(current, newly_activated_local):
+        # The pre-vectorization per-node implementation, kept verbatim as
+        # the regression oracle.
+        import numpy as np
+
+        activated = np.zeros(current.n, dtype=bool)
+        for v in newly_activated_local:
+            if not 0 <= v < current.n:
+                raise GraphError(
+                    f"activated node {v} out of residual range {current.n}"
+                )
+            activated[v] = True
+        removed = int(activated.sum())
+        if removed == 0:
+            raise GraphError("a round must activate at least the selected seed")
+        keep = ~activated
+        subgraph, kept_local = current.graph.induced_subgraph(keep)
+        return ResidualGraph(
+            graph=subgraph,
+            original_ids=current.original_ids[kept_local],
+            shortfall=max(0, current.shortfall - removed),
+            round_index=current.round_index + 1,
+        )
+
+    def test_large_batch_matches_reference(self):
+        import numpy as np
+
+        g = weighting.weighted_cascade(
+            generators.preferential_attachment(500, 3, seed=11, directed=False)
+        )
+        res = initial_residual(g, eta=400)
+        rng = np.random.default_rng(5)
+        activated = rng.choice(g.n, size=350, replace=False)
+        fast = shrink_residual(res, activated)
+        slow = self._reference_shrink(res, activated)
+        assert fast.graph == slow.graph
+        assert np.array_equal(fast.original_ids, slow.original_ids)
+        assert fast.shortfall == slow.shortfall
+        assert fast.round_index == slow.round_index
+
+    def test_duplicate_ids_match_reference(self, path3):
+        res = initial_residual(path3, eta=3)
+        fast = shrink_residual(res, [1, 1, 2])
+        slow = self._reference_shrink(res, [1, 1, 2])
+        assert list(fast.original_ids) == list(slow.original_ids)
+        assert fast.shortfall == slow.shortfall
+
+    def test_error_messages_preserved(self, path3):
+        res = initial_residual(path3, eta=2)
+        with pytest.raises(GraphError, match=r"activated node 7 out of residual range 3"):
+            shrink_residual(res, [1, 7])
+        with pytest.raises(GraphError, match="at least the selected seed"):
+            shrink_residual(res, [])

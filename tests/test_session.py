@@ -104,3 +104,64 @@ class TestObserve:
         obs = session.observe([0, 2])
         assert obs.marginal_spread == 4
         assert session.finished
+
+
+class TestAdaptiveSessionBatch:
+    def _worlds(self, graph, model, count, seed=60):
+        return [model.sample_realization(graph, seed=seed + i) for i in range(count)]
+
+    def test_matches_sequential_sessions(self, small_social_damped, ic_model):
+        from repro.core.session import AdaptiveSessionBatch
+
+        phis = self._worlds(small_social_damped, ic_model, 4)
+        batch = AdaptiveSessionBatch(small_social_damped, 25, phis)
+        singles = [
+            AdaptiveSession(small_social_damped, 25, phi) for phi in phis
+        ]
+        rng = np.random.default_rng(1)
+        while not batch.all_finished:
+            selections = {
+                sid: [int(rng.integers(batch.sessions[sid].residual.n))]
+                for sid in batch.active_indices
+            }
+            observations = batch.observe_batch(selections)
+            for sid, seeds in selections.items():
+                reference = singles[sid].observe(seeds)
+                assert np.array_equal(
+                    reference.newly_activated, observations[sid].newly_activated
+                )
+                assert reference.total_activated == observations[sid].total_activated
+        assert all(s.finished for s in singles)
+
+    def test_sessions_finish_at_different_times(self, two_components):
+        from repro.core.session import AdaptiveSessionBatch
+
+        fast = certain_world(two_components)
+        batch = AdaptiveSessionBatch(two_components, 2, [fast, fast])
+        batch.observe_batch({0: [0], 1: [1]})  # session 0 cascades 0 -> 1
+        assert batch.sessions[0].finished
+        assert not batch.sessions[1].finished
+        assert batch.active_indices == [1]
+        batch.observe_batch({1: [0]})
+        assert batch.all_finished
+
+    def test_finished_session_rejected(self, path3):
+        from repro.core.session import AdaptiveSessionBatch
+
+        batch = AdaptiveSessionBatch(path3, 1, [certain_world(path3)])
+        batch.observe_batch({0: [0]})
+        with pytest.raises(ConfigurationError):
+            batch.observe_batch({0: [0]})
+
+    def test_empty_round_rejected(self, path3):
+        from repro.core.session import AdaptiveSessionBatch
+
+        batch = AdaptiveSessionBatch(path3, 2, [certain_world(path3)])
+        with pytest.raises(ConfigurationError):
+            batch.observe_batch({})
+
+    def test_needs_a_realization(self, path3):
+        from repro.core.session import AdaptiveSessionBatch
+
+        with pytest.raises(ConfigurationError):
+            AdaptiveSessionBatch(path3, 2, [])
