@@ -1,0 +1,82 @@
+"""Merge the per-gate benchmark trajectories into one machine-readable file.
+
+Each gated engine benchmark appends its measurements to its own JSON list
+under ``benchmarks/results/``.  This script folds all of them into a single
+top-level ``BENCH_trajectory.json`` keyed by gate name, so the performance
+history of every engine gate is readable from the repo root without knowing
+the per-benchmark file layout::
+
+    python benchmarks/aggregate_trajectory.py            # writes the file
+    python benchmarks/aggregate_trajectory.py --check    # also fails if a
+                                                         # gate has no runs
+
+The output shape is::
+
+    {
+      "gates": {"sampler_batching": [ ...entries... ], ...},
+      "entry_counts": {"sampler_batching": 7, ...},
+      "latest": {"sampler_batching": { ...last entry... }, ...}
+    }
+
+CI runs it right after the gates, so the uploaded artifact (and any commit
+of the results directory) always carries the merged view alongside the
+per-gate files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_trajectory.json"
+
+
+def aggregate(results_dir: Path = RESULTS_DIR) -> dict:
+    """Fold every ``results/*.json`` history list into one document."""
+    gates = {}
+    for path in sorted(results_dir.glob("*.json")):
+        history = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(history, list):
+            history = [history]
+        gates[path.stem] = history
+    return {
+        "gates": gates,
+        "entry_counts": {name: len(history) for name, history in gates.items()},
+        "latest": {
+            name: history[-1] for name, history in gates.items() if history
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when no gate histories exist or one is empty",
+    )
+    parser.add_argument(
+        "--out", default=str(OUTPUT_PATH), help="output path (repo root default)"
+    )
+    args = parser.parse_args()
+    merged = aggregate()
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
+    names = ", ".join(sorted(merged["gates"])) or "none"
+    print(f"merged {len(merged['gates'])} gate trajectories ({names}) -> {out_path}")
+    if args.check:
+        if not merged["gates"]:
+            print("no benchmark trajectories found", file=sys.stderr)
+            return 1
+        empty = [name for name, hist in merged["gates"].items() if not hist]
+        if empty:
+            print(f"empty trajectories: {empty}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from repro.diffusion.ic import IndependentCascade
 from repro.diffusion.lt import LinearThreshold
 from repro.graph.digraph import DiGraph
 from repro.errors import ReproError
+from repro.parallel import ParallelRuntime
 
 __all__ = [
     "__version__",
@@ -47,4 +48,5 @@ __all__ = [
     "LinearThreshold",
     "DiGraph",
     "ReproError",
+    "ParallelRuntime",
 ]

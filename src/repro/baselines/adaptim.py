@@ -42,16 +42,35 @@ class AdaptIM:
         epsilon: float = 0.5,
         max_samples: Optional[int] = None,
         sample_batch_size: int = DEFAULT_BATCH_SIZE,
+        jobs: Optional[int] = None,
     ):
         check_fraction(epsilon, "epsilon")
         self.model = model
         self.epsilon = epsilon
+        self.jobs = jobs
+        # Same knob semantics as ASTI: None = historical stream, >= 1 =
+        # chunk-seeded parallel pool growth (worker-count invariant).
+        from repro.parallel.runtime import maybe_runtime
+
+        self._runtime = maybe_runtime(jobs)
         self.selector = OpimNodeSelector(
             model,
             epsilon=epsilon,
             max_samples=max_samples,
             sample_batch_size=sample_batch_size,
+            runtime=self._runtime,
         )
+
+    def close(self) -> None:
+        """Release the parallel runtime (no-op without ``jobs``)."""
+        if self._runtime is not None:
+            self._runtime.close()
+
+    def __enter__(self) -> "AdaptIM":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(
         self,

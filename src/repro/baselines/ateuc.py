@@ -93,6 +93,7 @@ class ATEUC:
         theta_initial: int = 512,
         max_doublings: int = 6,
         sample_batch_size: int = DEFAULT_BATCH_SIZE,
+        runtime=None,
     ):
         check_positive_int(theta_initial, "theta_initial")
         check_positive_int(max_doublings, "max_doublings")
@@ -104,6 +105,7 @@ class ATEUC:
         self.theta_initial = theta_initial
         self.max_doublings = max_doublings
         self.sample_batch_size = sample_batch_size
+        self.runtime = runtime
 
     def run(
         self,
@@ -117,7 +119,11 @@ class ATEUC:
             raise ConfigurationError(f"eta={eta} exceeds node count {graph.n}")
         rng = as_generator(seed)
         pool = RRCollection(
-            graph, self.model, seed=rng, batch_size=self.sample_batch_size
+            graph,
+            self.model,
+            seed=rng,
+            batch_size=self.sample_batch_size,
+            runtime=self.runtime,
         )
         timer = Stopwatch()
 

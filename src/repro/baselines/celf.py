@@ -88,6 +88,7 @@ def _run_celf(
     stop_at_spread: Optional[float],
     mc_batch_size: Optional[int],
     crn: bool,
+    runtime=None,
 ) -> CelfResult:
     rng = as_generator(seed)
     queue = _LazyQueue()
@@ -99,7 +100,7 @@ def _run_celf(
     if crn:
         evaluator = CRNSpreadEvaluator(
             graph, model, n_sims=samples, seed=rng,
-            mc_batch_size=mc_batch_size,
+            mc_batch_size=mc_batch_size, runtime=runtime,
         )
 
         def spread_of(candidate_seeds) -> float:
@@ -128,23 +129,29 @@ def _run_celf(
         def singleton_spreads():
             return [spread_of([v]) for v in range(graph.n)]
 
-    # Initial pass: every node's singleton spread (one batched CRN sweep).
-    for v, spread in enumerate(singleton_spreads()):
-        queue.push(float(spread), v, 0)
+    try:
+        # Initial pass: every node's singleton spread (one batched CRN sweep).
+        for v, spread in enumerate(singleton_spreads()):
+            queue.push(float(spread), v, 0)
 
-    while len(seeds) < max_seeds and len(queue):
-        gain, node, stamp = queue.pop()
-        if stamp == len(seeds):
-            # Fresh evaluation for the current seed set: commit the pick.
-            seeds.append(node)
-            current_spread += gain
-            skips += len(queue)  # everything left was never re-evaluated
-            if stop_at_spread is not None and current_spread >= stop_at_spread:
-                break
-        else:
-            # Stale: re-evaluate against the current seed set, re-queue.
-            fresh_gain = max(0.0, spread_of(seeds + [node]) - current_spread)
-            queue.push(fresh_gain, node, len(seeds))
+        while len(seeds) < max_seeds and len(queue):
+            gain, node, stamp = queue.pop()
+            if stamp == len(seeds):
+                # Fresh evaluation for the current seed set: commit the pick.
+                seeds.append(node)
+                current_spread += gain
+                skips += len(queue)  # everything left was never re-evaluated
+                if stop_at_spread is not None and current_spread >= stop_at_spread:
+                    break
+            else:
+                # Stale: re-evaluate against the current seed set, re-queue.
+                fresh_gain = max(0.0, spread_of(seeds + [node]) - current_spread)
+                queue.push(fresh_gain, node, len(seeds))
+    finally:
+        if crn:
+            # Release the evaluator's shared-memory worlds (if a runtime
+            # published them) as soon as the selection loop is done.
+            evaluator.close()
     return CelfResult(
         seeds=seeds,
         estimated_spread=current_spread,
@@ -161,13 +168,16 @@ def celf_influence_maximization(
     seed: RandomSource = None,
     mc_batch_size: Optional[int] = None,
     crn: bool = True,
+    runtime=None,
 ) -> CelfResult:
     """Select ``k`` seeds by lazy greedy over Monte-Carlo spreads.
 
     With the default ``crn=True``, two runs with the same integer ``seed``
     return identical seed sets (the estimator noise is pinned up front).
     ``mc_batch_size`` bounds the cascades per vectorized engine call on
-    either path (``None`` = engine default).
+    either path (``None`` = engine default).  ``runtime`` shards the CRN
+    sweeps across a parallel runtime's workers without changing any
+    estimate (evaluation replays pre-sampled noise).
     """
     check_positive_int(k, "k")
     check_positive_int(samples, "samples")
@@ -184,6 +194,7 @@ def celf_influence_maximization(
         stop_at_spread=None,
         mc_batch_size=mc_batch_size,
         crn=crn,
+        runtime=runtime,
     )
 
 
@@ -195,6 +206,7 @@ def celf_seed_minimization(
     seed: RandomSource = None,
     mc_batch_size: Optional[int] = None,
     crn: bool = True,
+    runtime=None,
 ) -> CelfResult:
     """Add lazy-greedy seeds until the estimated spread reaches ``eta``.
 
@@ -217,6 +229,7 @@ def celf_seed_minimization(
         stop_at_spread=float(eta),
         mc_batch_size=mc_batch_size,
         crn=crn,
+        runtime=runtime,
     )
 
 
@@ -256,6 +269,8 @@ class CELFMinimizer:
         model: DiffusionModel,
         samples: int = 200,
         mc_batch_size: Optional[int] = None,
+        jobs: Optional[int] = None,
+        runtime=None,
     ):
         check_positive_int(samples, "samples")
         if mc_batch_size is not None:
@@ -263,6 +278,30 @@ class CELFMinimizer:
         self.model = model
         self.samples = samples
         self.mc_batch_size = mc_batch_size
+        # Either hand in a shared runtime (the harness does) or a jobs
+        # count to own one; CRN evaluation is bit-identical either way.
+        self._owns_runtime = runtime is None and jobs is not None
+        if self._owns_runtime:
+            from repro.parallel.runtime import ParallelRuntime
+
+            runtime = ParallelRuntime(jobs)
+        self.runtime = runtime
+
+    def close(self) -> None:
+        """Release the runtime's workers, if this minimizer created one.
+
+        A shared runtime handed in by the caller (the harness) is left
+        alone — its owner closes it.  Safe to call repeatedly.
+        """
+        if self._owns_runtime and self.runtime is not None:
+            self.runtime.close()
+            self.runtime = None
+
+    def __enter__(self) -> "CELFMinimizer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(
         self, graph: DiGraph, eta: int, seed: RandomSource = None
@@ -276,6 +315,7 @@ class CELFMinimizer:
                 samples=self.samples,
                 seed=seed,
                 mc_batch_size=self.mc_batch_size,
+                runtime=self.runtime,
             )
         return CelfMinimizationRun(
             policy_name=self.name,

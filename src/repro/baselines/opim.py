@@ -55,6 +55,7 @@ class OpimNodeSelector(SeedSelector):
         epsilon: float = 0.5,
         max_samples: Optional[int] = None,
         sample_batch_size: int = DEFAULT_BATCH_SIZE,
+        runtime=None,
     ):
         check_fraction(epsilon, "epsilon")
         check_positive_int(sample_batch_size, "sample_batch_size")
@@ -62,6 +63,7 @@ class OpimNodeSelector(SeedSelector):
         self.epsilon = epsilon
         self.max_samples = max_samples
         self.sample_batch_size = sample_batch_size
+        self.runtime = runtime
         self.name = "AdaptIM"
         self.batch_size = 1
 
@@ -77,6 +79,7 @@ class OpimNodeSelector(SeedSelector):
             self.model,
             seed=rng,
             batch_size=self.sample_batch_size,
+            runtime=self.runtime,
         )
         pool.grow_to(params.theta_0)
 

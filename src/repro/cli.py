@@ -66,6 +66,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="rebuild the mRR pool from scratch every adaptive round "
         "instead of carrying re-validated sets across rounds",
     )
+    solve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for mRR pool generation (omit for the "
+        "historical single-stream path; any explicit value gives results "
+        "that are identical for every worker count)",
+    )
     solve.add_argument("--epsilon", type=float, default=0.5)
     solve.add_argument("--max-samples", type=int, default=None)
     solve.add_argument("--seed", type=int, default=0)
@@ -107,6 +115,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="rebuild every adaptive round's mRR pool from scratch "
         "(paper-exact; the default carries re-validated sets across rounds)",
     )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes sharing the sweep's realizations (results "
+        "are identical for any value; 1 = in-process)",
+    )
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--out-csv", default=None, help="write per-run rows")
     sweep.add_argument("--out-json", default=None, help="write aggregate summary")
@@ -135,6 +150,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stop the Monte-Carlo cross-check early once its 95%% CI "
         "half-width drops below this many nodes",
+    )
+    estimate.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for mRR pool generation (omit for the "
+        "historical single-stream path)",
     )
     estimate.add_argument("--seed", type=int, default=0)
     return parser
@@ -202,15 +224,16 @@ def _cmd_datasets(args, out) -> int:
 def _cmd_solve(args, out) -> int:
     graph = _load_graph(args)
     model = _make_model(args.model)
-    algorithm = ASTI(
+    with ASTI(
         model,
         epsilon=args.epsilon,
         batch_size=args.batch_size,
         max_samples=args.max_samples,
         sample_batch_size=args.sample_batch_size,
         reuse_pool=args.reuse_pool,
-    )
-    result = algorithm.run(graph, args.eta, seed=args.seed)
+        jobs=args.jobs,
+    ) as algorithm:
+        result = algorithm.run(graph, args.eta, seed=args.seed)
     print(
         f"{result.policy_name}: {result.seed_count} seeds -> "
         f"{result.spread} influenced (target {args.eta}) "
@@ -253,6 +276,7 @@ def _cmd_sweep(args, out) -> int:
         sample_batch_size=args.sample_batch_size,
         mc_batch_size=args.mc_batch_size,
         reuse_pool=args.reuse_pool,
+        jobs=args.jobs,
         seed=args.seed,
     )
     sweep = run_sweep(config)
@@ -287,7 +311,13 @@ def _cmd_estimate(args, out) -> int:
     model = _make_model(args.model)
     seeds = _parse_int_list(args.seeds)
     mrr = estimate_truncated_spread_mrr(
-        graph, model, seeds, args.eta, theta=args.theta, seed=args.seed
+        graph,
+        model,
+        seeds,
+        args.eta,
+        theta=args.theta,
+        seed=args.seed,
+        jobs=args.jobs,
     )
     print(
         f"mRR estimate of E[Gamma(S)] with eta={args.eta}, "

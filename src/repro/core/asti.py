@@ -250,6 +250,7 @@ class ASTI:
         max_samples: Optional[int] = None,
         sample_batch_size: int = DEFAULT_BATCH_SIZE,
         reuse_pool: bool = True,
+        jobs: Optional[int] = None,
     ):
         check_fraction(epsilon, "epsilon")
         check_positive_int(batch_size, "batch_size")
@@ -259,6 +260,14 @@ class ASTI:
         self.batch_size = batch_size
         self.sample_batch_size = sample_batch_size
         self.reuse_pool = reuse_pool
+        self.jobs = jobs
+        # jobs=None keeps the historical single-stream sampling route;
+        # any jobs >= 1 switches every round's pool growth to the
+        # chunk-seeded parallel scheme, whose output is bit-identical for
+        # every worker count (jobs=1 runs the chunks in-process).
+        from repro.parallel.runtime import maybe_runtime
+
+        self._runtime = maybe_runtime(jobs)
         if batch_size == 1:
             self.selector: SeedSelector = TrimSelector(
                 model,
@@ -266,6 +275,7 @@ class ASTI:
                 max_samples=max_samples,
                 sample_batch_size=sample_batch_size,
                 reuse_pool=reuse_pool,
+                runtime=self._runtime,
             )
         else:
             self.selector = TrimBSelector(
@@ -275,7 +285,25 @@ class ASTI:
                 max_samples=max_samples,
                 sample_batch_size=sample_batch_size,
                 reuse_pool=reuse_pool,
+                runtime=self._runtime,
             )
+
+    def close(self) -> None:
+        """Release the parallel runtime's workers and shared memory.
+
+        A no-op without ``jobs``; safe to call repeatedly.  The runtime
+        also cleans itself up on garbage collection and interpreter exit,
+        so calling this is only required when recycling many facades in
+        one long-lived process.
+        """
+        if self._runtime is not None:
+            self._runtime.close()
+
+    def __enter__(self) -> "ASTI":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def name(self) -> str:

@@ -98,6 +98,12 @@ class TrimSelector(SeedSelector):
         :class:`~repro.sampling.mrr.CarriedMRRPool` for the invariant and
         the from-scratch fallback).  ``False`` restores the paper-exact
         fresh pool every round.
+    runtime:
+        Optional :class:`~repro.parallel.runtime.ParallelRuntime`: each
+        round's pool growth fans its sample chunks out across the
+        runtime's workers over the shared-memory residual graph, seeded
+        by global chunk index so the pool is bit-identical for any worker
+        count (see :meth:`~repro.sampling.engine.BatchSampler.fill`).
     """
 
     def __init__(
@@ -108,6 +114,7 @@ class TrimSelector(SeedSelector):
         strict_budget: bool = False,
         sample_batch_size: int = DEFAULT_BATCH_SIZE,
         reuse_pool: bool = True,
+        runtime=None,
     ):
         check_fraction(epsilon, "epsilon")
         check_positive_int(sample_batch_size, "sample_batch_size")
@@ -117,6 +124,7 @@ class TrimSelector(SeedSelector):
         self.strict_budget = strict_budget
         self.sample_batch_size = sample_batch_size
         self.reuse_pool = reuse_pool
+        self.runtime = runtime
         self.name = "TRIM"
         self.batch_size = 1
 
@@ -148,6 +156,7 @@ class TrimSelector(SeedSelector):
             rng,
             batch_size=self.sample_batch_size,
             carry=carry if self.reuse_pool else None,
+            runtime=self.runtime,
         )
         pool.grow_to(params.theta_0)
 

@@ -113,6 +113,7 @@ class TrimBSelector(SeedSelector):
         strict_budget: bool = False,
         sample_batch_size: int = DEFAULT_BATCH_SIZE,
         reuse_pool: bool = True,
+        runtime=None,
     ):
         check_fraction(epsilon, "epsilon")
         check_positive_int(b, "b")
@@ -124,6 +125,7 @@ class TrimBSelector(SeedSelector):
         self.strict_budget = strict_budget
         self.sample_batch_size = sample_batch_size
         self.reuse_pool = reuse_pool
+        self.runtime = runtime
         self.name = f"TRIM-B({b})"
         self.batch_size = b
 
@@ -157,6 +159,7 @@ class TrimBSelector(SeedSelector):
             rng,
             batch_size=self.sample_batch_size,
             carry=carry if self.reuse_pool else None,
+            runtime=self.runtime,
         )
         pool.grow_to(params.theta_0)
 

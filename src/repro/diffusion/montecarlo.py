@@ -225,6 +225,83 @@ def estimate_activation_probabilities(
     return totals / samples
 
 
+def _crn_propose(graph: DiGraph, kind: str, worlds: np.ndarray, world: np.ndarray):
+    """The labeled-BFS expansion closure for a job -> world mapping.
+
+    ``worlds`` is the flat stacked realization noise (``n_sims * m`` live
+    flags under IC, ``n_sims * n`` chosen in-edges under LT) and ``world``
+    maps each job (labeled sample) of the sweep to its world index.
+    Module-level so the parallel runtime's workers can run the exact same
+    closure over shared-memory views.
+    """
+    indptr, targets, _ = graph.out_csr
+    n, m = graph.n, graph.m
+    if kind == "ic":
+        live = worlds
+
+        def propose_ic(frontier_sids, frontier_nodes):
+            positions, owners, _ = expand_labeled_frontier(
+                indptr, frontier_sids, frontier_nodes
+            )
+            if len(positions) == 0:
+                return positions
+            kept = live[world[owners] * m + positions]
+            return owners[kept] * n + targets[positions[kept]]
+
+        return propose_ic
+    chosen = worlds
+
+    def propose_lt(frontier_sids, frontier_nodes):
+        positions, owners, degrees = expand_labeled_frontier(
+            indptr, frontier_sids, frontier_nodes
+        )
+        if len(positions) == 0:
+            return positions
+        sources = np.repeat(frontier_nodes, degrees)
+        heads = targets[positions]
+        # Edge u -> v is live in world w exactly when v chose u in w.
+        kept = chosen[world[owners] * n + heads] == sources
+        return owners[kept] * n + heads[kept]
+
+    return propose_lt
+
+
+def crn_chunk(
+    graph: DiGraph,
+    kind: str,
+    worlds: np.ndarray,
+    sets_block: Sequence[np.ndarray],
+    world_ids: np.ndarray,
+    scratch: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One CRN sweep: realized spreads of a block of (candidate, world) jobs.
+
+    Job ``j`` starts from seed set ``sets_block[j]`` and expands over the
+    live edges of world ``world_ids[j]``.  Pure function of its inputs
+    (the worlds are pre-sampled), so the evaluator can run sweeps in-process
+    or shard them across worker processes with bit-identical results.
+    """
+    worlds = worlds.reshape(-1)
+    starts = (
+        np.concatenate(sets_block)
+        if len(sets_block)
+        else np.empty(0, dtype=np.int64)
+    )
+    lengths = np.fromiter(
+        (len(s) for s in sets_block), dtype=np.int64, count=len(sets_block)
+    )
+    starts_indptr = np.zeros(len(sets_block) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=starts_indptr[1:])
+    _, indptr = run_labeled_bfs(
+        graph.n,
+        starts,
+        starts_indptr,
+        _crn_propose(graph, kind, worlds, np.asarray(world_ids, dtype=np.int64)),
+        scratch,
+    )
+    return np.diff(indptr).astype(np.float64)
+
+
 class CRNSpreadEvaluator:
     """Score many candidate seed sets against shared cascade noise.
 
@@ -258,6 +335,13 @@ class CRNSpreadEvaluator:
     visitation-bitset working set.  The default (``None``) sizes sweeps
     from ``bitset_budget`` instead, which amortizes dispatch further at the
     price of a larger (~32 MB) bitset.
+
+    ``runtime`` shards the sweeps of each evaluation batch across a
+    :class:`~repro.parallel.runtime.ParallelRuntime`'s workers over the
+    shared-memory worlds.  Realizations are always sampled here in the
+    parent, and each sweep is a pure function of pre-sampled noise, so the
+    returned estimates are bit-identical with or without a runtime, for
+    any worker count.
     """
 
     def __init__(
@@ -268,6 +352,7 @@ class CRNSpreadEvaluator:
         seed: RandomSource = None,
         bitset_budget: int = _CRN_BITSET_BUDGET,
         mc_batch_size: Optional[int] = None,
+        runtime=None,
     ):
         check_positive_int(n_sims, "n_sims")
         if mc_batch_size is not None:
@@ -281,18 +366,23 @@ class CRNSpreadEvaluator:
         ]
         self._bitset_budget = max(int(bitset_budget), graph.n)
         self._mc_batch_size = mc_batch_size
+        self._runtime = runtime
+        self._worlds_handle = None  # lazily published shared-memory worlds
+        self._worlds_release = None
         self._scratch: np.ndarray = None
         first = realizations[0]
         if isinstance(first, ICRealization):
-            self._live = np.concatenate([r.live_edges for r in realizations])
+            self._kind = "ic"
+            self._worlds = np.concatenate([r.live_edges for r in realizations])
             self._vectorized = True
         elif isinstance(first, LTRealization):
-            self._chosen = np.concatenate(
+            self._kind = "lt"
+            self._worlds = np.concatenate(
                 [r.chosen_source for r in realizations]
             )
-            self._live = None
             self._vectorized = True
         else:
+            self._kind = None
             self._realizations = realizations  # fallback replay needs them
             self._vectorized = False
 
@@ -318,32 +408,55 @@ class CRNSpreadEvaluator:
         # realizations may span sweeps — the jobs-per-sweep bound holds
         # even when it is smaller than n_sims.
         total = len(sets) * r
-        job_sizes = np.empty(total, dtype=np.float64)
         if self._mc_batch_size is not None:
             sweep = self._mc_batch_size
         else:
             sweep = max(1, self._bitset_budget // n)
         sweep = min(sweep, max(1, total))
+        spans = [
+            (begin, min(begin + sweep, total)) for begin in range(0, total, sweep)
+        ]
+
+        def block_args(begin, end):
+            block_sets = [sets[j // r] for j in range(begin, end)]
+            world_ids = np.arange(begin, end, dtype=np.int64) % r
+            return block_sets, world_ids
+
+        parallel = (
+            self._runtime is not None
+            and self._runtime.parallel
+            and len(spans) > 1
+        )
+        if parallel:
+            graph_handle = self._runtime.publish_graph(self.graph)
+            if self._worlds_handle is None:
+                self._worlds_handle, self._worlds_release = (
+                    self._runtime.publish_arrays({"worlds": self._worlds})
+                )
+            from repro.parallel.tasks import worker_crn_chunk
+
+            pieces = self._runtime.map_ordered(
+                worker_crn_chunk,
+                [
+                    (graph_handle, self._kind, self._worlds_handle)
+                    + block_args(begin, end)
+                    for begin, end in spans
+                ],
+            )
+            return np.concatenate(pieces).reshape(len(sets), r)
         if self._scratch is None or len(self._scratch) < sweep * n:
             self._scratch = np.zeros(sweep * n, dtype=bool)
-        for begin in range(0, total, sweep):
-            jobs = range(begin, min(begin + sweep, total))
-            block_sets = [sets[j // r] for j in jobs]
-            starts = (
-                np.concatenate(block_sets)
-                if block_sets
-                else np.empty(0, dtype=np.int64)
+        job_sizes = np.empty(total, dtype=np.float64)
+        for begin, end in spans:
+            block_sets, world_ids = block_args(begin, end)
+            job_sizes[begin:end] = crn_chunk(
+                self.graph,
+                self._kind,
+                self._worlds,
+                block_sets,
+                world_ids,
+                self._scratch,
             )
-            lengths = np.fromiter(
-                (len(s) for s in block_sets), dtype=np.int64, count=len(jobs)
-            )
-            starts_indptr = np.zeros(len(jobs) + 1, dtype=np.int64)
-            np.cumsum(lengths, out=starts_indptr[1:])
-            world = np.arange(jobs.start, jobs.stop, dtype=np.int64) % r
-            _, indptr = run_labeled_bfs(
-                n, starts, starts_indptr, self._propose(world), self._scratch
-            )
-            job_sizes[jobs.start : jobs.stop] = np.diff(indptr)
         return job_sizes.reshape(len(sets), r)
 
     def evaluate_many(
@@ -366,43 +479,28 @@ class CRNSpreadEvaluator:
         """Mean spread of one candidate on the shared realizations."""
         return float(self.evaluate_many([seeds], eta=eta)[0])
 
-    # ------------------------------------------------------------------
-    # Per-model deterministic expansion rules
-    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unlink this evaluator's published shared-memory worlds.
 
-    def _propose(self, world: np.ndarray):
-        """The labeled-BFS expansion closure for a job->world mapping."""
-        indptr, targets, _ = self.graph.out_csr
-        n, m = self.graph.n, self.graph.m
-        if self._live is not None:
-            live = self._live
+        A no-op unless a multi-worker runtime actually published them.
+        The runtime also unlinks everything at its own close, but callers
+        that build many evaluators against one long-lived runtime (a
+        sweep with CELF in the roster) should release each evaluator's
+        worlds segment as soon as its evaluations are done.  Safe to call
+        repeatedly; the evaluator falls back to in-process sweeps if used
+        again afterwards.
+        """
+        if self._worlds_release is not None:
+            self._worlds_release()
+            self._worlds_release = None
+            self._worlds_handle = None
+            self._runtime = None
 
-            def propose_ic(frontier_sids, frontier_nodes):
-                positions, owners, _ = expand_labeled_frontier(
-                    indptr, frontier_sids, frontier_nodes
-                )
-                if len(positions) == 0:
-                    return positions
-                kept = live[world[owners] * m + positions]
-                return owners[kept] * n + targets[positions[kept]]
+    def __enter__(self) -> "CRNSpreadEvaluator":
+        return self
 
-            return propose_ic
-        chosen = self._chosen
-
-        def propose_lt(frontier_sids, frontier_nodes):
-            positions, owners, degrees = expand_labeled_frontier(
-                indptr, frontier_sids, frontier_nodes
-            )
-            if len(positions) == 0:
-                return positions
-            sources = np.repeat(frontier_nodes, degrees)
-            heads = targets[positions]
-            # Edge u -> v is live in world w exactly when v chose u in w.
-            kept = chosen[world[owners] * n + heads] == sources
-            return owners[kept] * n + heads[kept]
-
-        return propose_lt
-
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 def estimate_spreads_many(
     graph: DiGraph,
@@ -412,14 +510,21 @@ def estimate_spreads_many(
     eta: Optional[int] = None,
     seed: RandomSource = None,
     mc_batch_size: Optional[int] = None,
+    runtime=None,
 ) -> np.ndarray:
     """One-shot common-random-number evaluation of many candidate sets.
 
     Convenience wrapper constructing a throwaway :class:`CRNSpreadEvaluator`
     — callers that re-evaluate against the same noise (CELF's lazy queue)
-    should hold on to an evaluator instead.
+    should hold on to an evaluator instead.  ``runtime`` shards the sweeps
+    across workers; the estimates are bit-identical either way.
     """
-    evaluator = CRNSpreadEvaluator(
-        graph, model, n_sims=n_sims, seed=seed, mc_batch_size=mc_batch_size
-    )
-    return evaluator.evaluate_many(seed_sets, eta=eta)
+    with CRNSpreadEvaluator(
+        graph,
+        model,
+        n_sims=n_sims,
+        seed=seed,
+        mc_batch_size=mc_batch_size,
+        runtime=runtime,
+    ) as evaluator:
+        return evaluator.evaluate_many(seed_sets, eta=eta)

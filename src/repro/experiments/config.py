@@ -50,6 +50,9 @@ class ExperimentConfig:
     mc_batch_size: Optional[int] = None          # forward cascades per engine call
                                                  # (None = engine default)
     reuse_pool: bool = True                      # carry mRR pools across rounds
+    jobs: int = 1                                # harness worker processes
+                                                 # (1 = in-process; results are
+                                                 # identical for any value)
     seed: int = 0
     label: str = field(default="")
 
@@ -61,6 +64,7 @@ class ExperimentConfig:
             )
         check_positive_int(self.realizations, "realizations")
         check_positive_int(self.sample_batch_size, "sample_batch_size")
+        check_positive_int(self.jobs, "jobs")
         if self.mc_batch_size is not None:
             check_positive_int(self.mc_batch_size, "mc_batch_size")
         check_fraction(self.epsilon, "epsilon")

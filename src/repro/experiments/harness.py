@@ -8,6 +8,16 @@ Adaptive algorithms (ASTI variants, AdaptIM) run once per realization.
 Non-adaptive ATEUC selects its seed set once per ``(graph, eta)`` and is
 then *evaluated* on each realization — which is where the N/A entries of
 Table 3 come from: a fixed set can undershoot ``eta`` on some worlds.
+
+With ``jobs > 1`` (``ExperimentConfig.jobs`` / ``run_eta_point``'s
+``runtime``) the independent realizations shard across the parallel
+runtime's worker processes over the shared-memory graph and stacked
+live-edge worlds: adaptive sessions run in contiguous blocks through the
+same ``run_batch`` engine, non-adaptive evaluation replays the selected
+set per world in parallel, and CELF's CRN sweeps fan out inside the
+selection itself.  Every session keeps the per-realization stream spawned
+from the harness seed, so seed counts, spreads, and marginal series are
+bit-identical for any worker count (including the in-process ``jobs=1``).
 """
 
 from __future__ import annotations
@@ -26,8 +36,10 @@ from repro.diffusion.realization import Realization
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.graph.digraph import DiGraph
+from repro.parallel.runtime import ParallelRuntime
+from repro.parallel.shm import realizations_shareable
 from repro.sampling.engine import DEFAULT_BATCH_SIZE
-from repro.utils.rng import spawn_generators
+from repro.utils.rng import spawn_generators, spawn_seed_sequences
 from repro.utils.stats import summarize
 
 #: Roster entries that select one seed set up front and are then merely
@@ -89,8 +101,15 @@ def build_algorithm(
     sample_batch_size: int = DEFAULT_BATCH_SIZE,
     mc_batch_size: Optional[int] = None,
     reuse_pool: bool = True,
+    runtime: Optional[ParallelRuntime] = None,
 ):
-    """Instantiate a roster entry from its label."""
+    """Instantiate a roster entry from its label.
+
+    ``runtime`` only reaches the CELF entry (its CRN sweeps are worker-
+    count invariant); the adaptive entries parallelize at the realization
+    level instead, so handing them a runtime here would change their
+    sampling streams relative to a ``jobs=1`` run.
+    """
     if label == "ASTI":
         return ASTI(
             model,
@@ -121,7 +140,10 @@ def build_algorithm(
         return ATEUC(model, sample_batch_size=sample_batch_size)
     if label == "CELF":
         return CELFMinimizer(
-            model, samples=CELF_HARNESS_SAMPLES, mc_batch_size=mc_batch_size
+            model,
+            samples=CELF_HARNESS_SAMPLES,
+            mc_batch_size=mc_batch_size,
+            runtime=runtime,
         )
     raise ConfigurationError(f"unknown algorithm label {label!r}")
 
@@ -149,61 +171,119 @@ def run_eta_point(
     sample_batch_size: int = DEFAULT_BATCH_SIZE,
     mc_batch_size: Optional[int] = None,
     reuse_pool: bool = True,
+    runtime: Optional[ParallelRuntime] = None,
 ) -> Dict[str, AlgorithmOutcome]:
-    """Compare ``algorithms`` at a single threshold ``eta``."""
+    """Compare ``algorithms`` at a single threshold ``eta``.
+
+    With a multi-worker ``runtime``, each algorithm's independent
+    realizations run as contiguous shards on the worker pool; results are
+    bit-identical to running without one.
+    """
     outcomes: Dict[str, AlgorithmOutcome] = {}
     for label in algorithms:
-        algorithm = build_algorithm(
-            label,
-            model,
-            epsilon,
-            max_samples,
-            sample_batch_size,
-            mc_batch_size,
-            reuse_pool,
+        spec = dict(
+            label=label,
+            model=model,
+            epsilon=epsilon,
+            max_samples=max_samples,
+            sample_batch_size=sample_batch_size,
+            mc_batch_size=mc_batch_size,
+            reuse_pool=reuse_pool,
         )
         outcome = AlgorithmOutcome(algorithm=label, eta=eta)
         if label in NON_ADAPTIVE_ALGORITHMS:
-            _run_non_adaptive(algorithm, graph, eta, realizations, seed, outcome)
+            algorithm = build_algorithm(**spec, runtime=runtime)
+            _run_non_adaptive(
+                algorithm, graph, eta, realizations, seed, outcome, runtime
+            )
         else:
-            _run_adaptive(algorithm, graph, eta, realizations, seed, outcome)
+            _run_adaptive(spec, graph, eta, realizations, seed, outcome, runtime)
         outcomes[label] = outcome
     return outcomes
 
 
-def _run_adaptive(algorithm, graph, eta, realizations, seed, outcome) -> None:
+def _shards(count: int, jobs: int) -> List[np.ndarray]:
+    """Contiguous realization-index blocks, one per dispatched task."""
+    return np.array_split(np.arange(count), min(jobs, count))
+
+
+def _use_workers(runtime, realizations) -> bool:
+    return (
+        runtime is not None
+        and runtime.parallel
+        and len(realizations) > 1
+        and realizations_shareable(realizations)
+    )
+
+
+def _run_adaptive(
+    spec, graph, eta, realizations, seed, outcome, runtime=None
+) -> None:
     # Each realization gets an independent sampling stream derived from the
-    # harness seed, so reruns are bit-identical — and identical between the
-    # batched engine and the sequential fallback, which consume the same
-    # per-session streams in the same per-session order.
-    streams = spawn_generators(seed + 1, len(realizations))
-    if hasattr(algorithm, "run_batch"):
-        # The adaptive-session engine: round-synchronous batched observation
-        # plus per-session mRR pool carry-over (ASTI, AdaptIM).
-        results = algorithm.run_batch(graph, eta, realizations, seeds=streams)
+    # harness seed, so reruns are bit-identical — identical between the
+    # batched engine and the sequential fallback (which consume the same
+    # per-session streams in the same per-session order), and identical
+    # across worker counts (shard boundaries never move a session's stream).
+    seqs = spawn_seed_sequences(seed + 1, len(realizations))
+    if _use_workers(runtime, realizations):
+        from repro.parallel.tasks import worker_adaptive_shard
+
+        graph_handle = runtime.publish_graph(graph)
+        worlds_handle = runtime.publish_realizations(realizations)
+        shard_results = runtime.map_ordered(
+            worker_adaptive_shard,
+            [
+                (
+                    graph_handle,
+                    worlds_handle,
+                    shard.tolist(),
+                    spec,
+                    eta,
+                    [seqs[i] for i in shard],
+                )
+                for shard in _shards(len(realizations), runtime.jobs)
+            ],
+        )
+        rows = [row for shard in shard_results for row in shard]
     else:
-        results = [
-            algorithm.run(graph, eta, realization=phi, seed=rng)
-            for phi, rng in zip(realizations, streams)
-        ]
-    for index, result in enumerate(results):
+        from repro.parallel.tasks import adaptive_shard
+
+        rows = adaptive_shard(graph, realizations, spec, eta, seqs)
+    for index, (seed_count, spread, seconds, marginals) in enumerate(rows):
         outcome.runs.append(
             RunObservation(
                 realization_index=index,
-                seed_count=result.seed_count,
-                spread=result.spread,
-                achieved=result.spread >= eta,
-                seconds=result.seconds,
-                marginal_spreads=tuple(result.marginal_spreads),
+                seed_count=seed_count,
+                spread=spread,
+                achieved=spread >= eta,
+                seconds=seconds,
+                marginal_spreads=marginals,
             )
         )
 
 
-def _run_non_adaptive(algorithm, graph, eta, realizations, seed, outcome) -> None:
-    # One selection, evaluated on every world.
+def _run_non_adaptive(
+    algorithm, graph, eta, realizations, seed, outcome, runtime=None
+) -> None:
+    # One selection, evaluated on every world (evaluation shards across the
+    # runtime's workers; each world's replay is deterministic either way).
     result = algorithm.run(graph, eta, seed=seed + 2)
-    for index, phi in enumerate(realizations):
-        spread = phi.spread(result.seeds)
+    if _use_workers(runtime, realizations):
+        from repro.parallel.tasks import worker_spread_shard
+
+        graph_handle = runtime.publish_graph(graph)
+        worlds_handle = runtime.publish_realizations(realizations)
+        shard_spreads = runtime.map_ordered(
+            worker_spread_shard,
+            [
+                (graph_handle, worlds_handle, shard.tolist(), result.seeds)
+                for shard in _shards(len(realizations), runtime.jobs)
+            ],
+        )
+        spreads = [s for shard in shard_spreads for s in shard]
+    else:
+        spreads = [phi.spread(result.seeds) for phi in realizations]
+    for index, spread in enumerate(spreads):
         outcome.runs.append(
             RunObservation(
                 realization_index=index,
@@ -246,7 +326,12 @@ class SweepResult:
 
 
 def run_sweep(config: ExperimentConfig) -> SweepResult:
-    """Run the full paper-style sweep described by ``config``."""
+    """Run the full paper-style sweep described by ``config``.
+
+    ``config.jobs`` sizes the parallel runtime shared by every eta point
+    (worker processes spawn once, the graph maps into shared memory once);
+    the sweep's numbers are bit-identical for any jobs value.
+    """
     graph = config.build_graph()
     model = config.make_model()
     realizations = sample_shared_realizations(
@@ -254,18 +339,20 @@ def run_sweep(config: ExperimentConfig) -> SweepResult:
     )
     eta_values = config.eta_values(graph.n)
     outcomes: Dict[int, Dict[str, AlgorithmOutcome]] = {}
-    for eta in eta_values:
-        outcomes[eta] = run_eta_point(
-            graph,
-            model,
-            eta,
-            config.algorithms,
-            realizations,
-            epsilon=config.epsilon,
-            max_samples=config.max_samples,
-            seed=config.seed,
-            sample_batch_size=config.sample_batch_size,
-            mc_batch_size=config.mc_batch_size,
-            reuse_pool=config.reuse_pool,
-        )
+    with ParallelRuntime(config.jobs) as runtime:
+        for eta in eta_values:
+            outcomes[eta] = run_eta_point(
+                graph,
+                model,
+                eta,
+                config.algorithms,
+                realizations,
+                epsilon=config.epsilon,
+                max_samples=config.max_samples,
+                seed=config.seed,
+                sample_batch_size=config.sample_batch_size,
+                mc_batch_size=config.mc_batch_size,
+                reuse_pool=config.reuse_pool,
+                runtime=runtime,
+            )
     return SweepResult(config=config, eta_values=eta_values, outcomes=outcomes)

@@ -1,0 +1,230 @@
+"""The shared-memory parallel runtime.
+
+:class:`ParallelRuntime` owns the two resources every parallel path in the
+library shares:
+
+* a **persistent worker pool** — a ``spawn``-context
+  :class:`~concurrent.futures.ProcessPoolExecutor` started lazily on the
+  first parallel dispatch and reused for every subsequent fan-out (pool
+  growth rounds, CRN sweeps, harness realizations alike), so process
+  startup is paid once per runtime, not once per task;
+* a **publication cache** — graphs and realization batches are packed into
+  ``multiprocessing.shared_memory`` once (:mod:`repro.parallel.shm`) and
+  addressed by picklable handles from then on; a small LRU keeps the
+  per-round residual graphs of adaptive runs from accumulating segments.
+
+``jobs=1`` is the degenerate runtime: :attr:`parallel` is False, no worker
+processes or shared memory are ever created, and callers run the exact same
+chunk functions in-process — the work decomposition (and therefore every
+random draw) is identical for any worker count, which is what makes
+``jobs=1`` the bit-exact reference for ``jobs=N``.
+
+The runtime is a context manager; :meth:`close` (or garbage collection, or
+interpreter exit — a :func:`weakref.finalize` hook covers both) shuts the
+pool down and unlinks every published segment.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.parallel.shm import (
+    GraphHandle,
+    RealizationsHandle,
+    SharedArrayBundle,
+    share_graph,
+    share_realizations,
+)
+from repro.utils.validation import check_positive_int
+
+#: Published graphs kept mapped per runtime.  Two is the steady state of an
+#: adaptive run (the round's residual plus the previous round's stragglers);
+#: a little slack costs only address space.
+_GRAPH_CACHE_SIZE = 4
+
+#: Published realization batches kept mapped per runtime (the harness uses
+#: one shared batch for a whole sweep).
+_WORLDS_CACHE_SIZE = 2
+
+
+def _release(state: dict) -> None:
+    """Finalizer: tear down the executor and unlink every live segment.
+
+    Leaves ``state`` with empty-but-present containers so that late calls
+    on a closed runtime fail through the explicit closed checks rather
+    than with a bare ``KeyError``.
+    """
+    executor = state.get("executor")
+    state["executor"] = None
+    if executor is not None:
+        executor.shutdown(wait=True, cancel_futures=True)
+    bundles = state.get("bundles") or {}
+    state["bundles"] = {}
+    for bundle in bundles.values():
+        bundle.close()
+
+
+class ParallelRuntime:
+    """A persistent worker pool over a zero-copy shared graph.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count.  ``1`` runs everything in-process (no pool, no shared
+        memory) through the same chunked code route, so results are
+        bit-identical to any ``jobs >= 2`` run with the same seed.
+    """
+
+    def __init__(self, jobs: int = 1):
+        check_positive_int(jobs, "jobs")
+        self.jobs = int(jobs)
+        # Everything needing cleanup lives in _state so the finalizer can
+        # reference it without keeping the runtime itself alive.
+        self._state: dict = {"executor": None, "bundles": {}}
+        self._graphs: "OrderedDict[int, tuple]" = OrderedDict()
+        self._worlds: "OrderedDict[int, tuple]" = OrderedDict()
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _release, self._state)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """Whether dispatches actually fan out to worker processes."""
+        return self.jobs > 1
+
+    def close(self) -> None:
+        """Shut down the pool and unlink all shared segments (idempotent)."""
+        self._closed = True
+        self._graphs.clear()
+        self._worlds.clear()
+        self._finalizer()
+
+    def __enter__(self) -> "ParallelRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("parallel runtime is closed")
+
+    def _executor(self):
+        self._check_open()
+        if self._state["executor"] is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            from repro.parallel.tasks import worker_initializer
+
+            self._state["executor"] = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=worker_initializer,
+            )
+        return self._state["executor"]
+
+    # ------------------------------------------------------------------
+    # Publication
+    # ------------------------------------------------------------------
+
+    def _adopt(self, bundle: SharedArrayBundle) -> None:
+        self._state["bundles"][id(bundle)] = bundle
+
+    def _drop(self, bundle_id: int) -> None:
+        bundle = self._state["bundles"].pop(bundle_id, None)
+        if bundle is not None:
+            bundle.close()
+
+    def publish_graph(self, graph) -> GraphHandle:
+        """Shared-memory handle for ``graph``, packed once and cached.
+
+        The cache holds a strong reference to the graph, so ``id(graph)``
+        cannot be recycled while its handle is alive; the oldest entries
+        are unlinked once more than ``_GRAPH_CACHE_SIZE`` distinct graphs
+        (per-round residuals, typically) have been published.
+        """
+        self._check_open()
+        key = id(graph)
+        cached = self._graphs.get(key)
+        if cached is not None:
+            self._graphs.move_to_end(key)
+            return cached[1]
+        bundle, handle = share_graph(graph)
+        self._adopt(bundle)
+        self._graphs[key] = (graph, handle, id(bundle))
+        while len(self._graphs) > _GRAPH_CACHE_SIZE:
+            _, (_, _, old_bundle_id) = self._graphs.popitem(last=False)
+            self._drop(old_bundle_id)
+        return handle
+
+    def publish_arrays(self, arrays) -> Tuple:
+        """Share a dict of arrays; returns ``(ArrayHandle, release)``.
+
+        The generic escape hatch (the CRN evaluator publishes its stacked
+        live-edge worlds through this).  Not cached — callers hold the
+        handle for the lifetime of their fan-outs and call ``release()``
+        when done; anything not released is unlinked at :meth:`close`.
+        """
+        from repro.parallel.shm import pack_arrays
+
+        self._check_open()
+        bundle = pack_arrays(arrays)
+        self._adopt(bundle)
+        bundle_id = id(bundle)
+        return bundle.handle, lambda: self._drop(bundle_id)
+
+    def publish_realizations(self, realizations: Sequence) -> RealizationsHandle:
+        """Shared-memory handle for a homogeneous realization batch.
+
+        Cached by the identity of ``realizations`` (with a strong
+        reference, like :meth:`publish_graph`): the harness scores every
+        algorithm and eta point against the *same* ground-truth worlds,
+        so the ``count x m`` live-edge matrix is stacked and copied once
+        per sweep, not once per fan-out.  Evicted / remaining segments
+        are unlinked at eviction / :meth:`close`.
+        """
+        self._check_open()
+        key = id(realizations)
+        cached = self._worlds.get(key)
+        if cached is not None:
+            self._worlds.move_to_end(key)
+            return cached[1]
+        bundle, handle = share_realizations(realizations)
+        self._adopt(bundle)
+        self._worlds[key] = (realizations, handle, id(bundle))
+        while len(self._worlds) > _WORLDS_CACHE_SIZE:
+            _, (_, _, old_bundle_id) = self._worlds.popitem(last=False)
+            self._drop(old_bundle_id)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def map_ordered(self, fn: Callable, payloads: Sequence[tuple]) -> List:
+        """Run ``fn(*payload)`` for every payload, results in input order.
+
+        With ``jobs=1`` this is a plain loop (same functions, same order);
+        with workers it submits everything and gathers, so chunk results
+        merge in their deterministic chunk order regardless of which
+        worker finished first.
+        """
+        if not self.parallel:
+            return [fn(*payload) for payload in payloads]
+        executor = self._executor()
+        futures = [executor.submit(fn, *payload) for payload in payloads]
+        return [future.result() for future in futures]
+
+
+def maybe_runtime(jobs: Optional[int]) -> Optional[ParallelRuntime]:
+    """``None`` for the legacy in-process path, else a fresh runtime."""
+    if jobs is None:
+        return None
+    return ParallelRuntime(jobs)

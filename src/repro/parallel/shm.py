@@ -1,0 +1,276 @@
+"""Zero-copy shared-memory transport for the parallel runtime.
+
+Worker processes must see the graph's CSR arrays (and, for the harness and
+the CRN evaluator, the stacked live-edge arrays of the shared realizations)
+without pickling megabytes per task.  This module packs a named set of
+NumPy arrays into **one** ``multiprocessing.shared_memory`` block on the
+parent side and reconstructs read-only views on the worker side:
+
+* :func:`pack_arrays` copies the arrays into a fresh segment once and
+  returns a :class:`SharedArrayBundle` (the owner, responsible for
+  ``unlink``) whose picklable :class:`ArrayHandle` travels inside task
+  payloads;
+* :func:`attach_arrays` maps the segment in the worker and rebuilds the
+  views — no copy, every worker shares the parent's physical pages.
+
+On top of the generic bundle sit the two domain packings: a whole
+:class:`~repro.graph.digraph.DiGraph` (:func:`share_graph` /
+:func:`graph_from_handle`) and a homogeneous list of IC/LT realizations
+(:func:`share_realizations` / :func:`realizations_from_handle`).
+
+Worker-side attachments are cached per segment name (tasks of one fill or
+sweep all reference the same segment) with a small LRU so per-round
+residual graphs do not accumulate mappings forever.  Ownership is strictly
+parent-side: workers never register attachments with the resource tracker
+(see :func:`attach_shared_memory`), the parent unlinks when the runtime
+closes or evicts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.diffusion.realization import (
+    ICRealization,
+    LTRealization,
+    Realization,
+)
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DiGraph
+
+#: Worker-side attachment cache capacity (segments, not bytes).  Adaptive
+#: runs publish one residual graph per round; keeping a handful of recent
+#: segments mapped covers the in-flight round plus stragglers.
+_ATTACH_CACHE_SIZE = 8
+
+
+@dataclass(frozen=True)
+class ArrayHandle:
+    """Picklable descriptor of arrays packed in one shared-memory segment.
+
+    ``specs`` maps each array name to ``(offset, shape, dtype_str)`` inside
+    the segment called ``shm_name``.
+    """
+
+    shm_name: str
+    specs: Tuple[Tuple[str, int, Tuple[int, ...], str], ...]
+
+
+class SharedArrayBundle:
+    """Parent-side owner of one packed shared-memory segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, handle: ArrayHandle):
+        self._shm = shm
+        self.handle = handle
+        self._released = False
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def pack_arrays(arrays: Dict[str, np.ndarray]) -> SharedArrayBundle:
+    """Copy ``arrays`` into one fresh shared-memory segment.
+
+    Arrays are laid out back to back at 64-byte-aligned offsets; the copy
+    happens exactly once here, after which any number of workers map the
+    same pages read-only.
+    """
+    if not arrays:
+        raise ConfigurationError("cannot pack an empty array set")
+    specs: List[Tuple[str, int, Tuple[int, ...], str]] = []
+    offset = 0
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        offset = (offset + 63) & ~63  # keep every array cache-line aligned
+        specs.append((name, offset, tuple(array.shape), array.dtype.str))
+        offset += array.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for (name, start, shape, dtype), source in zip(specs, arrays.values()):
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=start)
+        view[...] = source
+    return SharedArrayBundle(shm, ArrayHandle(shm.name, tuple(specs)))
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without claiming ownership.
+
+    Python 3.13+ supports ``track=False`` directly; on older versions the
+    worker initializer (:func:`disable_shm_tracking`) has already patched
+    the resource tracker so the attach does not get registered — either
+    way only the parent, which created the segment, ever unlinks it.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+def disable_shm_tracking() -> None:
+    """Stop this process's resource tracker from adopting attachments.
+
+    Run in every worker before the first attach.  Without it, Python < 3.13
+    registers attached segments with the (shared) resource tracker, which
+    then double-unlinks when the parent cleans up and spews KeyError
+    tracebacks at shutdown.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def register(name, rtype):  # pragma: no cover - runs in workers
+        if rtype == "shared_memory":
+            return None
+        return original(name, rtype)
+
+    resource_tracker.register = register
+
+
+# ----------------------------------------------------------------------
+# Worker-side attachment cache
+# ----------------------------------------------------------------------
+
+_attached: "OrderedDict[str, Tuple[shared_memory.SharedMemory, Dict[str, np.ndarray]]]" = (
+    OrderedDict()
+)
+
+
+def attach_arrays(handle: ArrayHandle) -> Dict[str, np.ndarray]:
+    """Views onto the arrays of ``handle``'s segment (cached per segment)."""
+    cached = _attached.get(handle.shm_name)
+    if cached is not None:
+        _attached.move_to_end(handle.shm_name)
+        return cached[1]
+    shm = attach_shared_memory(handle.shm_name)
+    views = {
+        name: np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+        for name, offset, shape, dtype in handle.specs
+    }
+    # The descriptor is only needed to create the mapping; closing it now
+    # (instead of via SharedMemory.close) lets cache eviction simply drop
+    # the entry below — the mapping itself stays alive for as long as any
+    # NumPy view references it and is reclaimed by GC afterwards, so a
+    # kernel holding views across an eviction can never hit a forced
+    # unmap (SharedMemory.close unmaps even under live views).
+    try:
+        import os
+
+        os.close(shm._fd)
+        shm._fd = -1
+    except (OSError, AttributeError):  # pragma: no cover - non-POSIX
+        pass
+    _attached[handle.shm_name] = (shm, views)
+    while len(_attached) > _ATTACH_CACHE_SIZE:
+        _attached.popitem(last=False)
+    return views
+
+
+# ----------------------------------------------------------------------
+# Domain packings: graphs and realization batches
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GraphHandle:
+    """Picklable reference to a shared-memory-resident :class:`DiGraph`."""
+
+    n: int
+    arrays: ArrayHandle
+
+
+def share_graph(graph: DiGraph) -> Tuple[SharedArrayBundle, GraphHandle]:
+    """Pack a graph's six CSR arrays into one shared segment."""
+    out_indptr, out_targets, out_probs = graph.out_csr
+    in_indptr, in_sources, in_probs = graph.in_csr
+    bundle = pack_arrays(
+        {
+            "out_indptr": out_indptr,
+            "out_targets": out_targets,
+            "out_probs": out_probs,
+            "in_indptr": in_indptr,
+            "in_sources": in_sources,
+            "in_probs": in_probs,
+        }
+    )
+    return bundle, GraphHandle(graph.n, bundle.handle)
+
+
+def graph_from_handle(handle: GraphHandle) -> DiGraph:
+    """Rebuild a zero-copy :class:`DiGraph` over the shared CSR arrays."""
+    views = attach_arrays(handle.arrays)
+    return DiGraph(
+        handle.n,
+        views["out_indptr"],
+        views["out_targets"],
+        views["out_probs"],
+        views["in_indptr"],
+        views["in_sources"],
+        views["in_probs"],
+    )
+
+
+@dataclass(frozen=True)
+class RealizationsHandle:
+    """Picklable reference to a homogeneous batch of shared realizations.
+
+    ``kind`` is ``"ic"`` (stacked per-realization live-edge flags, shape
+    ``(count, m)``) or ``"lt"`` (stacked chosen in-edge sources, shape
+    ``(count, n)``).
+    """
+
+    kind: str
+    count: int
+    arrays: ArrayHandle
+
+
+def realizations_shareable(realizations: Sequence[Realization]) -> bool:
+    """Whether the batch is homogeneous IC or LT (stackable into one array)."""
+    if not realizations:
+        return False
+    first = type(realizations[0])
+    if first not in (ICRealization, LTRealization):
+        return False
+    return all(type(phi) is first for phi in realizations)
+
+
+def share_realizations(
+    realizations: Sequence[Realization],
+) -> Tuple[SharedArrayBundle, RealizationsHandle]:
+    """Stack a homogeneous IC/LT realization batch into shared memory."""
+    if not realizations_shareable(realizations):
+        raise ConfigurationError(
+            "only homogeneous IC or LT realization batches can be shared"
+        )
+    if isinstance(realizations[0], ICRealization):
+        kind = "ic"
+        worlds = np.stack([phi.live_edges for phi in realizations])
+    else:
+        kind = "lt"
+        worlds = np.stack([phi.chosen_source for phi in realizations])
+    bundle = pack_arrays({"worlds": worlds})
+    return bundle, RealizationsHandle(kind, len(realizations), bundle.handle)
+
+
+def realizations_from_handle(
+    graph: DiGraph, handle: RealizationsHandle, indices: Sequence[int]
+) -> List[Realization]:
+    """Rebuild the realizations at ``indices`` as views over shared rows."""
+    worlds = attach_arrays(handle.arrays)["worlds"]
+    if handle.kind == "ic":
+        return [ICRealization(graph, worlds[i]) for i in indices]
+    return [LTRealization(graph, worlds[i]) for i in indices]

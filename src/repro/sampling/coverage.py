@@ -210,7 +210,7 @@ class CoverageIndex:
     # ------------------------------------------------------------------
 
     def greedy_max_coverage(
-        self, budget: int, stop_at_coverage: int = None
+        self, budget: int, stop_at_coverage: int = None, lazy: bool = True
     ) -> GreedyCoverResult:
         """Pick up to ``budget`` nodes greedily maximizing covered-set count.
 
@@ -228,10 +228,22 @@ class CoverageIndex:
         the shortest prefix reaching a coverage target, not a fixed-size
         batch).
 
-        Each pick is fully vectorized: the sets newly covered by the chosen
-        node are looked up through the inverted node -> set-id CSR, and the
-        gain decrements for *all* their members happen in one ``bincount``
-        accumulation over the packed members array.
+        Two exactly equivalent execution strategies:
+
+        * ``lazy=True`` (default) — a CELF-style priority queue over stale
+          gains.  Marginal gains are monotone non-increasing as coverage
+          grows, so a popped entry whose recomputed gain still tops the
+          queue is the true argmax; only popped nodes ever pay a
+          recomputation (one slice of the inverted index), and no pick
+          scans all ``n`` gains or touches the covered sets' members.
+        * ``lazy=False`` — the eager reference: per pick, a full
+          ``gains.argmax()`` scan plus one ``bincount`` gain decrement
+          over the members of every newly covered set.
+
+        Both resolve gain ties toward the smallest node id (the documented
+        argmax convention — the heap orders equal gains by node id), so
+        they return identical picks in identical order; the regression
+        test pins this equivalence.
         """
         if budget < 1:
             raise ConfigurationError(f"budget must be >= 1, got {budget}")
@@ -239,6 +251,13 @@ class CoverageIndex:
             raise ConfigurationError(
                 f"budget {budget} exceeds node count {self.n}"
             )
+        if lazy:
+            return self._greedy_lazy(budget, stop_at_coverage)
+        return self._greedy_eager(budget, stop_at_coverage)
+
+    def _greedy_eager(
+        self, budget: int, stop_at_coverage: int = None
+    ) -> GreedyCoverResult:
         members, set_indptr = self.packed()
         gains = self._counts.copy()
         covered = np.zeros(self._num_sets, dtype=bool)
@@ -264,6 +283,45 @@ class CoverageIndex:
                 touched = members[gather_csr_rows(set_indptr, fresh)]
                 gains -= np.bincount(touched, minlength=self.n)
             gains[v] = -1  # never reselect
+        return GreedyCoverResult(selected, covered_total, marginal)
+
+    def _greedy_lazy(
+        self, budget: int, stop_at_coverage: int = None
+    ) -> GreedyCoverResult:
+        import heapq
+
+        covered = np.zeros(self._num_sets, dtype=bool)
+        node_indptr, node_sets = self._inverted_index()
+
+        # Min-heap on (-gain, node): highest gain first, smallest node id
+        # on ties — the same order the eager path's argmax resolves to.
+        # Seeding from the maintained coverage counts costs one O(n) pass
+        # total, not one per pick.
+        heap = [(-int(g), v) for v, g in enumerate(self._counts)]
+        heapq.heapify(heap)
+
+        selected: List[int] = []
+        marginal: List[int] = []
+        covered_total = 0
+        while len(selected) < budget and heap:
+            if stop_at_coverage is not None and covered_total >= stop_at_coverage:
+                break
+            stale_gain, v = heapq.heappop(heap)
+            sids = node_sets[node_indptr[v] : node_indptr[v + 1]]
+            fresh = sids[~covered[sids]]
+            gain = len(fresh)
+            if gain != -stale_gain:
+                # Stale bound (coverage grew since this entry was pushed):
+                # re-queue with the current gain.  Submodularity guarantees
+                # gain <= -stale_gain, so an up-to-date top entry is the
+                # true argmax and can be committed immediately.
+                heapq.heappush(heap, (-gain, v))
+                continue
+            selected.append(v)
+            marginal.append(gain)
+            if gain > 0:
+                covered[fresh] = True
+                covered_total += gain
         return GreedyCoverResult(selected, covered_total, marginal)
 
     def _inverted_index(self) -> Tuple[np.ndarray, np.ndarray]:

@@ -27,7 +27,7 @@ against.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from repro.sampling.coverage import CoverageIndex
 from repro.utils.rng import RandomSource, as_generator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (mrr imports engine)
+    from repro.parallel.runtime import ParallelRuntime
     from repro.sampling.mrr import RootCountRule
 
 #: Default number of reverse samples generated per engine call.  Large
@@ -176,6 +177,16 @@ class BatchSampler:
     batch_size:
         Samples per engine call.  Larger batches amortize dispatch further
         but grow the per-call ``batch * n`` visitation bitset.
+    runtime:
+        Optional :class:`~repro.parallel.runtime.ParallelRuntime`.  When
+        set, :meth:`fill` switches to the chunk-seeded parallel scheme:
+        every engine call's chunk draws from its own child stream (spawned
+        from a root :class:`~numpy.random.SeedSequence` by global chunk
+        index), and chunks are sharded across the runtime's workers.  The
+        resulting pool is bit-identical for **any** worker count — a
+        ``jobs=1`` runtime runs the same chunks in-process — but differs
+        from the default single-stream path, which remains the reference
+        when ``runtime`` is ``None``.
     """
 
     def __init__(
@@ -185,6 +196,7 @@ class BatchSampler:
         roots: RootDrawer,
         seed: RandomSource = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        runtime: "Optional[ParallelRuntime]" = None,
     ):
         if graph.n < 1:
             raise SamplingError("cannot sample reverse sets on an empty graph")
@@ -197,6 +209,17 @@ class BatchSampler:
         self.roots = roots
         self.batch_size = int(batch_size)
         self._rng = as_generator(seed)
+        self._runtime = runtime
+        # Chunk-indexed seeding root: one draw from the caller's stream
+        # fixes every future chunk's stream up front (SeedSequence.spawn
+        # tracks how many children were already spawned, so the k-th chunk
+        # of the sampler's lifetime gets the k-th child no matter how the
+        # fill calls are sliced or sharded).
+        self._chunk_root = (
+            np.random.SeedSequence(int(self._rng.integers(np.iinfo(np.int64).max)))
+            if runtime is not None
+            else None
+        )
         # Pooled visitation bitset, allocated lazily at batch_size * n and
         # restored to all-False by the BFS driver after every call — the
         # batched analogue of the scalar samplers' pooled scratch.
@@ -225,15 +248,19 @@ class BatchSampler:
         if count == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, np.zeros(1, dtype=np.int64), empty
-        if self._scratch is None or len(self._scratch) < count * self.graph.n:
-            self._scratch = np.zeros(
-                max(count, self.batch_size) * self.graph.n, dtype=bool
-            )
+        self._ensure_scratch(count)
         roots, roots_indptr = self.roots.draw(self._rng, count)
         members, indptr = self.model.reverse_sample_batch(
             self.graph, roots, roots_indptr, self._rng, self._scratch
         )
         return members, indptr, np.diff(roots_indptr)
+
+    def _ensure_scratch(self, count: int) -> np.ndarray:
+        if self._scratch is None or len(self._scratch) < count * self.graph.n:
+            self._scratch = np.zeros(
+                max(count, self.batch_size) * self.graph.n, dtype=bool
+            )
+        return self._scratch
 
     def fill(self, index: CoverageIndex, count: int) -> np.ndarray:
         """Append ``count`` fresh sets to ``index``, batch by batch.
@@ -241,9 +268,16 @@ class BatchSampler:
         The Python-level loop runs once per *batch*, never per set.
         Returns the per-set root counts in generation order (all ones for
         single-root RR pools).
+
+        With a :class:`~repro.parallel.runtime.ParallelRuntime` attached,
+        the batches become independent chunk work units sharded across the
+        runtime's workers and merged back in chunk order (see
+        :meth:`grow_to` and the constructor's ``runtime`` note).
         """
         if count < 0:
             raise SamplingError(f"count must be non-negative, got {count}")
+        if self._runtime is not None:
+            return self._fill_parallel(index, count)
         remaining = count
         collected = []
         while remaining > 0:
@@ -256,16 +290,70 @@ class BatchSampler:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(collected)
 
+    def grow_to(self, index: CoverageIndex, theta: int) -> np.ndarray:
+        """Top ``index`` up to at least ``theta`` sets; see :meth:`fill`."""
+        return self.fill(index, max(0, int(theta) - len(index)))
+
+    def _fill_parallel(self, index: CoverageIndex, count: int) -> np.ndarray:
+        """Chunk-seeded fill: deterministic for any worker count.
+
+        The count splits into the same ``min(remaining, batch_size)``
+        chunks as the sequential loop; chunk ``k`` (globally indexed over
+        the sampler's lifetime) draws from the ``k``-th child of the
+        sampler's root seed sequence, runs
+        :func:`repro.parallel.tasks.sample_chunk` — in-process for a
+        ``jobs=1`` runtime, on the worker pool otherwise — and the
+        CSR-packed results merge into ``index`` in chunk order.
+        """
+        from repro.parallel.tasks import sample_chunk, worker_sample_chunk
+
+        chunks: List[int] = []
+        remaining = count
+        while remaining > 0:
+            step = min(remaining, self.batch_size)
+            chunks.append(step)
+            remaining -= step
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        seqs = self._chunk_root.spawn(len(chunks))
+        if not self._runtime.parallel:
+            results = [
+                sample_chunk(
+                    self.graph,
+                    self.model,
+                    self.roots,
+                    step,
+                    seq,
+                    self._ensure_scratch(step),
+                )
+                for step, seq in zip(chunks, seqs)
+            ]
+        else:
+            graph_handle = self._runtime.publish_graph(self.graph)
+            results = self._runtime.map_ordered(
+                worker_sample_chunk,
+                [
+                    (graph_handle, self.model, self.roots, step, seq)
+                    for step, seq in zip(chunks, seqs)
+                ],
+            )
+        collected = []
+        for members, indptr, root_counts in results:
+            index.add_batch(members, indptr)
+            collected.append(root_counts)
+        return np.concatenate(collected)
+
 
 def rr_batch_sampler(
     graph: DiGraph,
     model: DiffusionModel,
     seed: RandomSource = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    runtime: "Optional[ParallelRuntime]" = None,
 ) -> BatchSampler:
     """Engine for single-root RR pools."""
     return BatchSampler(
-        graph, model, UniformRootDrawer(graph.n), seed, batch_size
+        graph, model, UniformRootDrawer(graph.n), seed, batch_size, runtime
     )
 
 
@@ -275,8 +363,9 @@ def mrr_batch_sampler(
     rule: RootCountRule,
     seed: RandomSource = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    runtime: "Optional[ParallelRuntime]" = None,
 ) -> BatchSampler:
     """Engine for multi-root mRR pools under a root-count rule."""
     return BatchSampler(
-        graph, model, RandomizedRoundingRootDrawer(rule), seed, batch_size
+        graph, model, RandomizedRoundingRootDrawer(rule), seed, batch_size, runtime
     )

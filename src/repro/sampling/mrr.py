@@ -175,11 +175,12 @@ class MRRCollection:
         seed: RandomSource = None,
         rule: RootCountRule = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        runtime=None,
     ):
         rng = as_generator(seed)
         self.sampler = MRRSampler(graph, model, eta, rng, rule)
         self.engine = mrr_batch_sampler(
-            graph, model, self.sampler.rule, rng, batch_size
+            graph, model, self.sampler.rule, rng, batch_size, runtime
         )
         self.index = CoverageIndex(graph.n)
         self._root_counts = np.empty(0, dtype=np.int64)
@@ -381,6 +382,7 @@ def build_round_pool(
     rng: np.random.Generator,
     batch_size: int = DEFAULT_BATCH_SIZE,
     carry: Optional[CarriedMRRPool] = None,
+    runtime=None,
 ) -> Tuple[MRRCollection, CarryDiagnostics]:
     """One round's mRR pool, optionally pre-loaded from the previous round.
 
@@ -395,6 +397,7 @@ def build_round_pool(
         residual.shortfall,
         seed=rng,
         batch_size=batch_size,
+        runtime=runtime,
     )
     if carry is None:
         return pool, CarryDiagnostics(0, 0, 0, 0)
@@ -413,12 +416,26 @@ def estimate_truncated_spread_mrr(
     seed: RandomSource = None,
     rule: RootCountRule = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    jobs: Optional[int] = None,
 ) -> float:
     """One-shot convenience: generate ``theta`` mRR sets and estimate.
 
     Used by tests, examples, and the rounding ablation; production code
     should reuse an :class:`MRRCollection` across queries instead.
+
+    ``jobs`` switches pool generation to the chunk-seeded parallel scheme
+    (``None`` keeps the historical in-process stream; any ``jobs >= 1``
+    yields the same estimate for every worker count).
     """
-    collection = MRRCollection(graph, model, eta, seed, rule, batch_size)
-    collection.grow_to(theta)
-    return collection.estimated_truncated_spread(seeds)
+    from repro.parallel.runtime import maybe_runtime
+
+    runtime = maybe_runtime(jobs)
+    try:
+        collection = MRRCollection(
+            graph, model, eta, seed, rule, batch_size, runtime=runtime
+        )
+        collection.grow_to(theta)
+        return collection.estimated_truncated_spread(seeds)
+    finally:
+        if runtime is not None:
+            runtime.close()

@@ -64,10 +64,11 @@ class RRCollection:
         model: DiffusionModel,
         seed: RandomSource = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        runtime=None,
     ):
         rng = as_generator(seed)
         self.sampler = RRSampler(graph, model, rng)
-        self.engine = rr_batch_sampler(graph, model, rng, batch_size)
+        self.engine = rr_batch_sampler(graph, model, rng, batch_size, runtime)
         self.index = CoverageIndex(graph.n)
 
     @property

@@ -14,6 +14,8 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 # The public alias used in signatures throughout the library.
 RandomSource = Union[None, int, np.random.Generator]
 
@@ -33,20 +35,39 @@ def as_generator(seed: RandomSource = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def spawn_seed_sequences(
+    seed: RandomSource, count: int
+) -> List[np.random.SeedSequence]:
+    """Derive ``count`` independent child :class:`~numpy.random.SeedSequence`.
+
+    The picklable half of :func:`spawn_generators`: the parallel runtime
+    ships these to worker processes, which build their generators locally,
+    so a work unit's stream depends only on its global index — never on
+    which worker (or how many workers) ran it.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Spawn from the generator's own bit generator seed sequence.
+        seq = getattr(seed.bit_generator, "seed_seq", None)
+        if seq is None or not hasattr(seq, "spawn"):
+            raise ConfigurationError(
+                "cannot spawn child generators: the provided Generator's bit "
+                "generator exposes no SeedSequence (bit_generator.seed_seq); "
+                "pass an int seed or a Generator built with "
+                "numpy.random.default_rng instead"
+            )
+        return list(seq.spawn(count))
+    return list(np.random.SeedSequence(seed).spawn(count))
+
+
 def spawn_generators(seed: RandomSource, count: int) -> List[np.random.Generator]:
     """Derive ``count`` statistically independent generators from ``seed``.
 
     Used by the experiment harness to give each sampled realization its own
     stream, so adding or removing realizations does not perturb the others.
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    if isinstance(seed, np.random.Generator):
-        # Spawn from the generator's own bit generator seed sequence.
-        seq = seed.bit_generator.seed_seq.spawn(count)  # type: ignore[union-attr]
-        return [np.random.default_rng(s) for s in seq]
-    seq = np.random.SeedSequence(seed).spawn(count)
-    return [np.random.default_rng(s) for s in seq]
+    return [np.random.default_rng(s) for s in spawn_seed_sequences(seed, count)]
 
 
 def random_subset(

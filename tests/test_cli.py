@@ -107,3 +107,38 @@ class TestEstimateCommand:
         assert code == 0
         assert "mRR estimate" in text
         assert "Monte-Carlo cross-check" in text
+
+
+class TestJobsFlag:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["solve", "--dataset", "nethept-sim", "--n", "120", "--eta", "8",
+             "--max-samples", "2000", "--jobs", "0"],
+            ["sweep", "--dataset", "nethept-sim", "--n", "120",
+             "--realizations", "2", "--jobs", "-3"],
+            ["estimate", "--dataset", "nethept-sim", "--n", "120", "--eta", "8",
+             "--seeds", "0", "--jobs", "0"],
+        ],
+    )
+    def test_nonpositive_jobs_rejected_cleanly(self, argv, capsys):
+        code, _ = run_cli(argv)
+        assert code == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_solve_jobs_one_runs_chunk_seeded_in_process(self):
+        code, text = run_cli(
+            ["solve", "--dataset", "nethept-sim", "--n", "150", "--eta", "10",
+             "--max-samples", "3000", "--seed", "1", "--jobs", "1", "--quiet"]
+        )
+        assert code == 0
+        assert "ASTI" in text
+
+    def test_estimate_jobs_matches_across_worker_counts(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(generators.star_graph(12, probability=1.0), path)
+        argv = ["estimate", "--edge-list", str(path), "--eta", "3",
+                "--seeds", "0", "--theta", "500"]
+        _, one = run_cli(argv + ["--jobs", "1"])
+        _, two = run_cli(argv + ["--jobs", "2"])
+        assert one == two

@@ -159,3 +159,52 @@ class TestGreedyMaxCoverage:
             index.greedy_max_coverage(0)
         with pytest.raises(ConfigurationError):
             index.greedy_max_coverage(4)
+
+
+class TestLazyGreedyEquivalence:
+    """The CELF-style lazy queue must reproduce the eager reference exactly."""
+
+    def _random_pool(self, n, sets, max_size, seed):
+        rng = np.random.default_rng(seed)
+        return make_index(
+            n,
+            [
+                rng.choice(n, size=rng.integers(1, max_size + 1), replace=False)
+                for _ in range(sets)
+            ],
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_eager_on_random_pools(self, seed):
+        index = self._random_pool(n=40, sets=120, max_size=6, seed=seed)
+        for budget in (1, 3, 12, 40):
+            eager = index.greedy_max_coverage(budget, lazy=False)
+            lazy = index.greedy_max_coverage(budget, lazy=True)
+            assert eager.nodes == lazy.nodes, (seed, budget)
+            assert eager.covered == lazy.covered
+            assert eager.marginal_gains == lazy.marginal_gains
+
+    def test_matches_eager_with_stop_at_coverage(self):
+        index = self._random_pool(n=30, sets=80, max_size=5, seed=9)
+        for stop in (1, 20, 55, 10_000):
+            eager = index.greedy_max_coverage(30, stop_at_coverage=stop, lazy=False)
+            lazy = index.greedy_max_coverage(30, stop_at_coverage=stop, lazy=True)
+            assert eager.nodes == lazy.nodes, stop
+            assert eager.covered == lazy.covered
+            assert eager.marginal_gains == lazy.marginal_gains
+
+    def test_zero_gain_padding_matches(self):
+        # Budget beyond the covering nodes: both paths pad with untouched
+        # nodes in ascending id order (the documented tie-break).
+        index = make_index(6, [[1, 2], [2, 3]])
+        eager = index.greedy_max_coverage(5, lazy=False)
+        lazy = index.greedy_max_coverage(5, lazy=True)
+        assert eager.nodes == lazy.nodes
+        assert lazy.marginal_gains == eager.marginal_gains
+        assert lazy.marginal_gains[0] > 0 and lazy.marginal_gains[-1] == 0
+
+    def test_tie_break_prefers_smallest_node_id(self):
+        index = make_index(5, [[3], [3], [1], [1], [4]])
+        for lazy in (False, True):
+            result = index.greedy_max_coverage(2, lazy=lazy)
+            assert result.nodes[0] == 1  # gain tie between 1 and 3

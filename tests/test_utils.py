@@ -12,7 +12,12 @@ from repro.errors import (
     NodeNotFoundError,
     ReproError,
 )
-from repro.utils.rng import as_generator, random_subset, spawn_generators
+from repro.utils.rng import (
+    as_generator,
+    random_subset,
+    spawn_generators,
+    spawn_seed_sequences,
+)
 from repro.utils.stats import mean_confidence_interval, summarize
 from repro.utils.timing import Stopwatch, format_seconds
 from repro.utils.validation import (
@@ -217,3 +222,28 @@ class TestErrors:
         err = InfeasibleTargetError(10, 4)
         assert err.eta == 10
         assert err.achievable == 4
+
+
+class TestSpawnSeedSeqRobustness:
+    def test_generator_without_seed_seq_raises_clear_error(self):
+        from unittest import mock
+
+        fake = mock.Mock(spec=np.random.Generator)
+        fake.bit_generator = mock.Mock(spec=[])  # exposes no seed_seq at all
+        with pytest.raises(ConfigurationError, match="seed_seq"):
+            spawn_generators(fake, 2)
+
+    def test_generator_with_none_seed_seq_raises_clear_error(self):
+        from unittest import mock
+
+        fake = mock.Mock(spec=np.random.Generator)
+        fake.bit_generator = mock.Mock()
+        fake.bit_generator.seed_seq = None
+        with pytest.raises(ConfigurationError, match="default_rng"):
+            spawn_generators(fake, 2)
+
+    def test_seed_sequences_match_generators(self):
+        seqs = spawn_seed_sequences(7, 3)
+        direct = [np.random.default_rng(s).random() for s in seqs]
+        via_generators = [g.random() for g in spawn_generators(7, 3)]
+        assert direct == via_generators
