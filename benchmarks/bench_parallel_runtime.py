@@ -85,6 +85,11 @@ QUICK = {
 DEFAULT_MIN_SPEEDUP = 2.5
 CI_MIN_SPEEDUP = 1.3
 
+#: Compact-storage bar: a fully compact-eligible graph (int32 indices,
+#: float32 probabilities) must pack into at most this fraction of its
+#: int64/float64 segment bytes.  Hardware-independent, enforced always.
+MAX_COMPACT_SEGMENT_RATIO = 0.55
+
 
 def build_graph(n: int, seed: int = 0):
     """The ~10k-node benchmark graph: preferential attachment + WC weights."""
@@ -218,6 +223,47 @@ def measure_harness(profile, jobs, seed=0):
     }
 
 
+def measure_storage(profile, seed=0):
+    """Shared-memory segment bytes: compact (adaptive) vs wide storage.
+
+    Two graphs over the same ~10k-node topology:
+
+    * ``weighted-cascade`` — the benchmark's WC weights (1/indeg is not
+      float32-exact, so only the index arrays compact);
+    * ``constant-p0.125`` — a fully compact-eligible graph (int32 indices
+      *and* lossless float32 probabilities), which must pack into at most
+      ``MAX_COMPACT_SEGMENT_RATIO`` of its int64/float64 bytes.
+
+    Both segments really go through ``share_graph`` (alignment included),
+    so the recorded bytes are exactly what workers map.
+    """
+    from repro.graph import generators, weighting
+    from repro.parallel.shm import share_graph
+
+    topology = generators.preferential_attachment(
+        profile["graph_n"], 3, seed=seed, directed=False
+    )
+    cases = {}
+    for name, graph in (
+        ("weighted-cascade", weighting.weighted_cascade(topology)),
+        ("constant-p0.125", weighting.constant(topology, 0.125)),
+    ):
+        compact_bundle, _ = share_graph(graph)
+        wide_bundle, _ = share_graph(graph.with_storage("wide"))
+        try:
+            cases[name] = {
+                "index_dtype": str(graph.index_dtype),
+                "prob_dtype": str(graph.prob_dtype),
+                "compact_segment_bytes": compact_bundle.nbytes,
+                "wide_segment_bytes": wide_bundle.nbytes,
+                "ratio": round(compact_bundle.nbytes / wide_bundle.nbytes, 3),
+            }
+        finally:
+            compact_bundle.close()
+            wide_bundle.close()
+    return cases
+
+
 def measure(profile: dict, jobs: int, seed: int = 0) -> dict:
     graph = build_graph(profile["graph_n"], seed=seed)
     cases = {}
@@ -227,6 +273,7 @@ def measure(profile: dict, jobs: int, seed: int = 0) -> dict:
         )
     cases["crn/IC"] = measure_crn(graph, IndependentCascade(), profile, jobs, seed)
     harness = measure_harness(profile, jobs, seed)
+    storage = measure_storage(profile, seed)
     result = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "graph_n": graph.n,
@@ -237,6 +284,7 @@ def measure(profile: dict, jobs: int, seed: int = 0) -> dict:
         "crn_jobs": profile["crn_candidates"] * profile["crn_worlds"],
         "cases": cases,
         "harness": harness,
+        "storage": storage,
     }
     if result["cpus"] is None or result["cpus"] < jobs:
         result["note"] = (
@@ -280,6 +328,14 @@ def report(result: dict, out=sys.stdout) -> None:
         f"bit-identical {harness['bit_identical']}",
         file=out,
     )
+    for name, case in result.get("storage", {}).items():
+        print(
+            f"  storage/{name:<22} {case['compact_segment_bytes']:>10} B "
+            f"vs wide {case['wide_segment_bytes']:>10} B   "
+            f"ratio {case['ratio']:.3f}   "
+            f"({case['index_dtype']}/{case['prob_dtype']})",
+            file=out,
+        )
 
 
 def check_equivalence(result: dict) -> None:
@@ -293,6 +349,28 @@ def check_equivalence(result: dict) -> None:
         broken.append("harness")
     if broken:
         raise SystemExit(f"worker-count invariance violated: {broken}")
+    check_storage(result)
+
+
+def check_storage(result: dict) -> None:
+    """Raise unless compact storage actually compacts.
+
+    The fully compact-eligible graph must reach the
+    ``MAX_COMPACT_SEGMENT_RATIO`` bar; the weighted-cascade graph (indices
+    only) must still shrink below its wide layout.
+    """
+    storage = result.get("storage", {})
+    eligible = storage.get("constant-p0.125")
+    if eligible and eligible["ratio"] > MAX_COMPACT_SEGMENT_RATIO:
+        raise SystemExit(
+            f"compact-eligible graph segment ratio {eligible['ratio']} "
+            f"exceeds {MAX_COMPACT_SEGMENT_RATIO}"
+        )
+    wc = storage.get("weighted-cascade")
+    if wc and wc["ratio"] >= 1.0:
+        raise SystemExit(
+            f"weighted-cascade compact segment did not shrink: {wc}"
+        )
 
 
 def check_gates(result: dict, min_speedup: float) -> None:

@@ -1,0 +1,95 @@
+"""Sweep every engine knob through one ExecutionContext.
+
+Before the unified context, tuning the batched engines meant threading
+three separate knob paths — ``sample_batch_size`` into the reverse
+sampler, ``jobs`` into the parallel runtime, ``reuse_pool`` into the
+adaptive carry-over — through every constructor between you and the
+engine.  Now each trial is one :class:`repro.ExecutionContext`::
+
+    context = ExecutionContext(sample_batch_size=512, jobs=2, reuse_pool=True)
+    ASTI(model, context=context).run(graph, eta, seed=0)
+
+This example runs a small grid over all three knobs on one graph and
+prints seconds per run, demonstrating that (a) every configuration goes
+through the single ``context=`` argument and (b) the chosen seed sets
+agree across ``jobs`` values (worker-count invariance) and across
+``reuse_pool`` (which only changes *how much* sampling is paid, not the
+policy's information).
+
+Run:
+    PYTHONPATH=src python examples/context_tuning.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import ASTI, ExecutionContext, IndependentCascade
+from repro.graph import generators, weighting
+
+GRAPH_N = 1500
+ETA_FRACTION = 0.1
+SEED = 7
+
+SAMPLE_BATCH_SIZES = (64, 256, 1024)
+JOBS = (None, 1, 2)          # None = historical single-stream route
+REUSE_POOL = (True, False)
+
+
+def build_graph():
+    topology = generators.preferential_attachment(
+        GRAPH_N, 3, seed=1, directed=False
+    )
+    return weighting.weighted_cascade(topology)
+
+
+def run_trial(graph, eta, context):
+    model = IndependentCascade()
+    start = time.perf_counter()
+    with ASTI(model, epsilon=0.5, max_samples=20_000, context=context) as algorithm:
+        result = algorithm.run(graph, eta, seed=SEED)
+    seconds = time.perf_counter() - start
+    return result, seconds
+
+
+def main() -> int:
+    graph = build_graph()
+    eta = max(1, int(ETA_FRACTION * graph.n))
+    print(
+        f"graph: n={graph.n} m={graph.m} "
+        f"(storage {graph.index_dtype}/{graph.prob_dtype}, "
+        f"{graph.csr_nbytes} CSR bytes) | eta={eta}"
+    )
+    print(f"{'batch':>6} {'jobs':>5} {'reuse':>6} {'seeds':>6} {'samples':>9} {'seconds':>8}")
+
+    baseline_seeds = {}
+    for sample_batch_size in SAMPLE_BATCH_SIZES:
+        for jobs in JOBS:
+            for reuse_pool in REUSE_POOL:
+                with ExecutionContext(
+                    sample_batch_size=sample_batch_size,
+                    jobs=jobs,
+                    reuse_pool=reuse_pool,
+                ) as context:
+                    result, seconds = run_trial(graph, eta, context)
+                print(
+                    f"{sample_batch_size:>6} {str(jobs):>5} {str(reuse_pool):>6} "
+                    f"{result.seed_count:>6} {result.total_samples:>9} "
+                    f"{seconds:>8.2f}"
+                )
+                # Worker-count invariance: for a fixed batch size and
+                # reuse policy, every explicit jobs value must select the
+                # exact same seeds (jobs=None uses a different — also
+                # deterministic — historical stream).
+                if jobs is not None:
+                    key = (sample_batch_size, reuse_pool)
+                    baseline_seeds.setdefault(key, result.seeds)
+                    assert result.seeds == baseline_seeds[key], (
+                        f"worker-count invariance violated at {key}"
+                    )
+    print("\nall explicit-jobs configurations selected identical seed sets")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,10 +34,12 @@ from repro.diffusion.lt import LinearThreshold
 from repro.graph.digraph import DiGraph
 from repro.errors import ReproError
 from repro.parallel import ParallelRuntime
+from repro.runtime import ExecutionContext
 
 __all__ = [
     "__version__",
     "ASTI",
+    "ExecutionContext",
     "AdaptiveRunResult",
     "run_adaptive_policy",
     "TrimSelector",

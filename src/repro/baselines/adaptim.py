@@ -26,7 +26,7 @@ from repro.core.asti import (
 from repro.diffusion.base import DiffusionModel
 from repro.diffusion.realization import Realization
 from repro.graph.digraph import DiGraph
-from repro.sampling.engine import DEFAULT_BATCH_SIZE
+from repro.runtime.context import UNSET, ExecutionContext, resolve_context
 from repro.utils.rng import RandomSource
 from repro.utils.validation import check_fraction
 
@@ -41,30 +41,38 @@ class AdaptIM:
         model: DiffusionModel,
         epsilon: float = 0.5,
         max_samples: Optional[int] = None,
-        sample_batch_size: int = DEFAULT_BATCH_SIZE,
-        jobs: Optional[int] = None,
+        sample_batch_size=UNSET,
+        jobs=UNSET,
+        context: Optional[ExecutionContext] = None,
     ):
         check_fraction(epsilon, "epsilon")
+        # Same context semantics as ASTI: jobs=None keeps the historical
+        # single-stream route, >= 1 switches to chunk-seeded parallel pool
+        # growth (worker-count invariant); legacy kwargs build a private
+        # context via the deprecation shim.
+        self.context, self._owns_context = resolve_context(
+            context,
+            "AdaptIM",
+            sample_batch_size=sample_batch_size,
+            jobs=jobs,
+        )
         self.model = model
         self.epsilon = epsilon
-        self.jobs = jobs
-        # Same knob semantics as ASTI: None = historical stream, >= 1 =
-        # chunk-seeded parallel pool growth (worker-count invariant).
-        from repro.parallel.runtime import maybe_runtime
-
-        self._runtime = maybe_runtime(jobs)
         self.selector = OpimNodeSelector(
             model,
             epsilon=epsilon,
             max_samples=max_samples,
-            sample_batch_size=sample_batch_size,
-            runtime=self._runtime,
+            context=self.context,
         )
 
+    @property
+    def jobs(self) -> Optional[int]:
+        return self.context.jobs
+
     def close(self) -> None:
-        """Release the parallel runtime (no-op without ``jobs``)."""
-        if self._runtime is not None:
-            self._runtime.close()
+        """Release the private context's runtime (no-op without ``jobs``)."""
+        if self._owns_context:
+            self.context.close()
 
     def __enter__(self) -> "AdaptIM":
         return self

@@ -29,13 +29,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.diffusion.base import DiffusionModel
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraph
+from repro.runtime.context import UNSET, ExecutionContext, resolve_context
 from repro.sampling.bounds import coverage_lower_bound
-from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.sampling.rr import RRCollection
 from repro.utils.rng import RandomSource, as_generator
 from repro.utils.timing import Stopwatch
@@ -92,20 +92,43 @@ class ATEUC:
         gamma: float = 2.0,
         theta_initial: int = 512,
         max_doublings: int = 6,
-        sample_batch_size: int = DEFAULT_BATCH_SIZE,
-        runtime=None,
+        sample_batch_size=UNSET,
+        runtime=UNSET,
+        context: Optional[ExecutionContext] = None,
     ):
         check_positive_int(theta_initial, "theta_initial")
         check_positive_int(max_doublings, "max_doublings")
-        check_positive_int(sample_batch_size, "sample_batch_size")
         if gamma < 1.0:
             raise ConfigurationError(f"gamma must be >= 1, got {gamma}")
+        self.context, self._owns_context = resolve_context(
+            context,
+            "ATEUC",
+            runtime=runtime,
+            sample_batch_size=sample_batch_size,
+        )
         self.model = model
         self.gamma = gamma
         self.theta_initial = theta_initial
         self.max_doublings = max_doublings
-        self.sample_batch_size = sample_batch_size
-        self.runtime = runtime
+
+    @property
+    def sample_batch_size(self) -> int:
+        return self.context.sample_batch_size
+
+    @property
+    def runtime(self):
+        return self.context.runtime
+
+    def close(self) -> None:
+        """Release the private context (no-op for a caller-owned one)."""
+        if self._owns_context:
+            self.context.close()
+
+    def __enter__(self) -> "ATEUC":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(
         self,
@@ -122,8 +145,7 @@ class ATEUC:
             graph,
             self.model,
             seed=rng,
-            batch_size=self.sample_batch_size,
-            runtime=self.runtime,
+            context=self.context,
         )
         timer = Stopwatch()
 

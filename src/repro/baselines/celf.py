@@ -43,6 +43,7 @@ from repro.diffusion.montecarlo import (
 )
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraph
+from repro.runtime.context import UNSET, ExecutionContext, resolve_context
 from repro.utils.rng import RandomSource, as_generator
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_positive_int
@@ -89,6 +90,7 @@ def _run_celf(
     mc_batch_size: Optional[int],
     crn: bool,
     runtime=None,
+    context: Optional[ExecutionContext] = None,
 ) -> CelfResult:
     rng = as_generator(seed)
     queue = _LazyQueue()
@@ -97,6 +99,10 @@ def _run_celf(
     simulations = 0
     skips = 0
 
+    if context is not None and mc_batch_size is None:
+        mc_batch_size = context.mc_batch_size
+    if context is not None and runtime is None:
+        runtime = context.runtime
     if crn:
         evaluator = CRNSpreadEvaluator(
             graph, model, n_sims=samples, seed=rng,
@@ -169,14 +175,17 @@ def celf_influence_maximization(
     mc_batch_size: Optional[int] = None,
     crn: bool = True,
     runtime=None,
+    context: Optional[ExecutionContext] = None,
 ) -> CelfResult:
     """Select ``k`` seeds by lazy greedy over Monte-Carlo spreads.
 
     With the default ``crn=True``, two runs with the same integer ``seed``
     return identical seed sets (the estimator noise is pinned up front).
-    ``mc_batch_size`` bounds the cascades per vectorized engine call on
-    either path (``None`` = engine default).  ``runtime`` shards the CRN
-    sweeps across a parallel runtime's workers without changing any
+    ``context`` supplies the engine policy (``mc_batch_size``, parallel
+    runtime); the explicit ``mc_batch_size`` / ``runtime`` arguments
+    override it.  ``mc_batch_size`` bounds the cascades per vectorized
+    engine call on either path (``None`` = engine default); the runtime
+    shards the CRN sweeps across worker processes without changing any
     estimate (evaluation replays pre-sampled noise).
     """
     check_positive_int(k, "k")
@@ -195,6 +204,7 @@ def celf_influence_maximization(
         mc_batch_size=mc_batch_size,
         crn=crn,
         runtime=runtime,
+        context=context,
     )
 
 
@@ -207,12 +217,15 @@ def celf_seed_minimization(
     mc_batch_size: Optional[int] = None,
     crn: bool = True,
     runtime=None,
+    context: Optional[ExecutionContext] = None,
 ) -> CelfResult:
     """Add lazy-greedy seeds until the estimated spread reaches ``eta``.
 
     Non-adaptive, like ATEUC, but estimator-agnostic and therefore a good
     cross-check: on graphs where both run, their seed counts should agree
-    within estimation noise.
+    within estimation noise.  ``context`` supplies the engine policy, with
+    the explicit arguments as overrides (see
+    :func:`celf_influence_maximization`).
     """
     check_positive_int(eta, "eta")
     check_positive_int(samples, "samples")
@@ -230,6 +243,7 @@ def celf_seed_minimization(
         mc_batch_size=mc_batch_size,
         crn=crn,
         runtime=runtime,
+        context=context,
     )
 
 
@@ -268,34 +282,41 @@ class CELFMinimizer:
         self,
         model: DiffusionModel,
         samples: int = 200,
-        mc_batch_size: Optional[int] = None,
-        jobs: Optional[int] = None,
-        runtime=None,
+        mc_batch_size=UNSET,
+        jobs=UNSET,
+        runtime=UNSET,
+        context: Optional[ExecutionContext] = None,
     ):
         check_positive_int(samples, "samples")
-        if mc_batch_size is not None:
-            check_positive_int(mc_batch_size, "mc_batch_size")
+        # Either hand in a context (the harness passes the sweep's, whose
+        # runtime it owns) or legacy knobs that build a private one; CRN
+        # evaluation is bit-identical either way.
+        self.context, self._owns_context = resolve_context(
+            context,
+            "CELFMinimizer",
+            runtime=runtime,
+            mc_batch_size=mc_batch_size,
+            jobs=jobs,
+        )
         self.model = model
         self.samples = samples
-        self.mc_batch_size = mc_batch_size
-        # Either hand in a shared runtime (the harness does) or a jobs
-        # count to own one; CRN evaluation is bit-identical either way.
-        self._owns_runtime = runtime is None and jobs is not None
-        if self._owns_runtime:
-            from repro.parallel.runtime import ParallelRuntime
 
-            runtime = ParallelRuntime(jobs)
-        self.runtime = runtime
+    @property
+    def mc_batch_size(self) -> Optional[int]:
+        return self.context.mc_batch_size
+
+    @property
+    def runtime(self):
+        return self.context.runtime
 
     def close(self) -> None:
-        """Release the runtime's workers, if this minimizer created one.
+        """Release the private context's runtime, if this minimizer owns one.
 
-        A shared runtime handed in by the caller (the harness) is left
-        alone — its owner closes it.  Safe to call repeatedly.
+        A context handed in by the caller (the harness) is left alone —
+        its owner closes it.  Safe to call repeatedly.
         """
-        if self._owns_runtime and self.runtime is not None:
-            self.runtime.close()
-            self.runtime = None
+        if self._owns_context:
+            self.context.close()
 
     def __enter__(self) -> "CELFMinimizer":
         return self
@@ -314,8 +335,7 @@ class CELFMinimizer:
                 eta,
                 samples=self.samples,
                 seed=seed,
-                mc_batch_size=self.mc_batch_size,
-                runtime=self.runtime,
+                context=self.context,
             )
         return CelfMinimizationRun(
             policy_name=self.name,

@@ -12,13 +12,13 @@ checks and for users who want a zero-theory reference point:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.policy import RandomNodeSelector, SeedSelector, Selection, SelectionDiagnostics
 from repro.diffusion.base import DiffusionModel
-from repro.diffusion.montecarlo import DEFAULT_MC_BATCH_SIZE, estimate_spread
+from repro.diffusion.montecarlo import estimate_spread
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraph
 from repro.graph.residual import ResidualGraph
@@ -71,7 +71,8 @@ def degree_seed_minimization(
     eta: int,
     samples: int = 200,
     seed: RandomSource = None,
-    mc_batch_size: int = DEFAULT_MC_BATCH_SIZE,
+    mc_batch_size: Optional[int] = None,
+    context=None,
 ) -> DegreeMinimizationResult:
     """Add nodes in decreasing out-degree until MC spread reaches ``eta``.
 
@@ -82,7 +83,8 @@ def degree_seed_minimization(
     """
     check_positive_int(eta, "eta")
     check_positive_int(samples, "samples")
-    check_positive_int(mc_batch_size, "mc_batch_size")
+    if mc_batch_size is not None:
+        check_positive_int(mc_batch_size, "mc_batch_size")
     if eta > graph.n:
         raise ConfigurationError(f"eta={eta} exceeds node count {graph.n}")
     rng = as_generator(seed)
@@ -93,7 +95,7 @@ def degree_seed_minimization(
         seeds.append(int(node))
         estimate = estimate_spread(
             graph, model, seeds, samples=samples, seed=rng,
-            mc_batch_size=mc_batch_size,
+            mc_batch_size=mc_batch_size, context=context,
         ).mean
         if estimate >= eta:
             break

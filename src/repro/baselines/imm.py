@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.baselines.opim import InfluenceMaximizationResult
 from repro.diffusion.base import DiffusionModel
@@ -76,13 +76,10 @@ def imm_influence_maximization(
 
     pool = RRCollection(graph, model, seed=rng, batch_size=sample_batch_size)
     lower_bound = 1.0
-    rounds = 0
-    phase1_samples = 0
 
     # Phase 1: geometric search for a lower bound on OPT.
     max_rounds = max(1, int(math.ceil(math.log2(n))) - 1)
     for i in range(1, max_rounds + 1):
-        rounds = i
         x = n / (2.0 ** i)
         lambda_prime = (
             (2.0 + 2.0 * eps_prime / 3.0)
@@ -94,7 +91,6 @@ def imm_influence_maximization(
         if max_samples is not None:
             theta_i = min(theta_i, max_samples)
         pool.grow_to(theta_i)
-        phase1_samples = len(pool)
         greedy = pool.index.greedy_max_coverage(k)
         estimated = n * greedy.covered / len(pool)
         if estimated >= (1.0 + eps_prime) * x:

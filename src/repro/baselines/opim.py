@@ -28,6 +28,7 @@ from repro.diffusion.base import DiffusionModel
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraph
 from repro.graph.residual import ResidualGraph
+from repro.runtime.context import UNSET, ExecutionContext, resolve_context
 from repro.sampling.bounds import (
     coverage_lower_bound,
     coverage_upper_bound,
@@ -54,18 +55,33 @@ class OpimNodeSelector(SeedSelector):
         model: DiffusionModel,
         epsilon: float = 0.5,
         max_samples: Optional[int] = None,
-        sample_batch_size: int = DEFAULT_BATCH_SIZE,
-        runtime=None,
+        sample_batch_size=UNSET,
+        runtime=UNSET,
+        context: Optional[ExecutionContext] = None,
     ):
         check_fraction(epsilon, "epsilon")
-        check_positive_int(sample_batch_size, "sample_batch_size")
+        self.context, self._owns_context = resolve_context(
+            context,
+            "OpimNodeSelector",
+            runtime=runtime,
+            sample_batch_size=sample_batch_size,
+        )
         self.model = model
         self.epsilon = epsilon
-        self.max_samples = max_samples
-        self.sample_batch_size = sample_batch_size
-        self.runtime = runtime
+        # Context supplies the sampling cap unless given explicitly.
+        self.max_samples = (
+            max_samples if max_samples is not None else self.context.max_samples
+        )
         self.name = "AdaptIM"
         self.batch_size = 1
+
+    @property
+    def sample_batch_size(self) -> int:
+        return self.context.sample_batch_size
+
+    @property
+    def runtime(self):
+        return self.context.runtime
 
     def select(self, residual: ResidualGraph, rng: np.random.Generator) -> Selection:
         n = residual.n
@@ -78,8 +94,7 @@ class OpimNodeSelector(SeedSelector):
             residual.graph,
             self.model,
             seed=rng,
-            batch_size=self.sample_batch_size,
-            runtime=self.runtime,
+            context=self.context,
         )
         pool.grow_to(params.theta_0)
 

@@ -31,6 +31,7 @@ from repro.experiments.harness import run_sweep
 from repro.experiments.report import format_series, format_table
 from repro.graph import analysis
 from repro.graph.io import read_edge_list
+from repro.runtime.context import ExecutionContext
 from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.sampling.mrr import estimate_truncated_spread_mrr
 
@@ -109,6 +110,13 @@ def build_parser() -> argparse.ArgumentParser:
         "roster entries like CELF (default: engine-chosen)",
     )
     sweep.add_argument(
+        "--mc-tolerance",
+        type=float,
+        default=None,
+        help="stop MC-based estimates early once their 95%% CI half-width "
+        "drops below this many nodes",
+    )
+    sweep.add_argument(
         "--no-reuse-pool",
         dest="reuse_pool",
         action="store_false",
@@ -182,6 +190,22 @@ def _make_model(name: str):
     return IndependentCascade() if name == "IC" else LinearThreshold()
 
 
+def _context_from_args(args) -> ExecutionContext:
+    """One :class:`ExecutionContext` per CLI invocation.
+
+    All engine knobs funnel through the context's shared validators, so a
+    bad ``--jobs`` or ``--sample-batch-size`` is rejected with exactly the
+    same message the library raises (``repro.utils.validation``).
+    """
+    return ExecutionContext(
+        sample_batch_size=getattr(args, "sample_batch_size", DEFAULT_BATCH_SIZE),
+        mc_batch_size=getattr(args, "mc_batch_size", None),
+        mc_tolerance=getattr(args, "mc_tolerance", None),
+        reuse_pool=getattr(args, "reuse_pool", True),
+        jobs=getattr(args, "jobs", None),
+    )
+
+
 def _parse_int_list(text: str) -> List[int]:
     return [int(part) for part in text.split(",") if part.strip()]
 
@@ -224,14 +248,12 @@ def _cmd_datasets(args, out) -> int:
 def _cmd_solve(args, out) -> int:
     graph = _load_graph(args)
     model = _make_model(args.model)
-    with ASTI(
+    with _context_from_args(args) as context, ASTI(
         model,
         epsilon=args.epsilon,
         batch_size=args.batch_size,
         max_samples=args.max_samples,
-        sample_batch_size=args.sample_batch_size,
-        reuse_pool=args.reuse_pool,
-        jobs=args.jobs,
+        context=context,
     ) as algorithm:
         result = algorithm.run(graph, args.eta, seed=args.seed)
     print(
@@ -275,6 +297,7 @@ def _cmd_sweep(args, out) -> int:
         max_samples=args.max_samples,
         sample_batch_size=args.sample_batch_size,
         mc_batch_size=args.mc_batch_size,
+        mc_tolerance=args.mc_tolerance,
         reuse_pool=args.reuse_pool,
         jobs=args.jobs,
         seed=args.seed,
@@ -310,6 +333,11 @@ def _cmd_estimate(args, out) -> int:
     graph = _load_graph(args)
     model = _make_model(args.model)
     seeds = _parse_int_list(args.seeds)
+    with _context_from_args(args) as context:
+        return _estimate_with_context(args, out, graph, model, seeds, context)
+
+
+def _estimate_with_context(args, out, graph, model, seeds, context) -> int:
     mrr = estimate_truncated_spread_mrr(
         graph,
         model,
@@ -317,7 +345,7 @@ def _cmd_estimate(args, out) -> int:
         args.eta,
         theta=args.theta,
         seed=args.seed,
-        jobs=args.jobs,
+        context=context,
     )
     print(
         f"mRR estimate of E[Gamma(S)] with eta={args.eta}, "
@@ -337,8 +365,7 @@ def _cmd_estimate(args, out) -> int:
             args.eta,
             samples=args.mc_samples,
             seed=args.seed,
-            mc_batch_size=args.mc_batch_size,
-            ci_halfwidth=args.mc_tolerance,
+            context=context,
         )
         print(
             f"Monte-Carlo cross-check ({mc.samples} cascades): "

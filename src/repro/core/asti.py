@@ -32,7 +32,7 @@ from repro.diffusion.base import DiffusionModel
 from repro.diffusion.realization import Realization
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraph
-from repro.sampling.engine import DEFAULT_BATCH_SIZE
+from repro.runtime.context import UNSET, ExecutionContext, resolve_context
 from repro.sampling.mrr import CarriedMRRPool
 from repro.utils.rng import RandomSource, as_generator, spawn_generators
 from repro.utils.timing import Stopwatch
@@ -248,34 +248,39 @@ class ASTI:
         epsilon: float = 0.5,
         batch_size: int = 1,
         max_samples: Optional[int] = None,
-        sample_batch_size: int = DEFAULT_BATCH_SIZE,
-        reuse_pool: bool = True,
-        jobs: Optional[int] = None,
+        sample_batch_size=UNSET,
+        reuse_pool=UNSET,
+        jobs=UNSET,
+        context: Optional[ExecutionContext] = None,
     ):
         check_fraction(epsilon, "epsilon")
         check_positive_int(batch_size, "batch_size")
-        check_positive_int(sample_batch_size, "sample_batch_size")
+        # One execution context carries every engine knob.  An explicit
+        # context= is used as-is (and never closed here — its builder owns
+        # it); the legacy sample_batch_size / reuse_pool / jobs kwargs
+        # build an equivalent private context through the deprecation
+        # shim.  jobs=None keeps the historical single-stream sampling
+        # route; any jobs >= 1 switches every round's pool growth to the
+        # chunk-seeded parallel scheme, whose output is bit-identical for
+        # every worker count (jobs=1 runs the chunks in-process).
+        self.context, self._owns_context = resolve_context(
+            context,
+            type(self).__name__,
+            sample_batch_size=sample_batch_size,
+            reuse_pool=reuse_pool,
+            jobs=jobs,
+        )
+        if max_samples is None:
+            max_samples = self.context.max_samples
         self.model = model
         self.epsilon = epsilon
         self.batch_size = batch_size
-        self.sample_batch_size = sample_batch_size
-        self.reuse_pool = reuse_pool
-        self.jobs = jobs
-        # jobs=None keeps the historical single-stream sampling route;
-        # any jobs >= 1 switches every round's pool growth to the
-        # chunk-seeded parallel scheme, whose output is bit-identical for
-        # every worker count (jobs=1 runs the chunks in-process).
-        from repro.parallel.runtime import maybe_runtime
-
-        self._runtime = maybe_runtime(jobs)
         if batch_size == 1:
             self.selector: SeedSelector = TrimSelector(
                 model,
                 epsilon=epsilon,
                 max_samples=max_samples,
-                sample_batch_size=sample_batch_size,
-                reuse_pool=reuse_pool,
-                runtime=self._runtime,
+                context=self.context,
             )
         else:
             self.selector = TrimBSelector(
@@ -283,21 +288,32 @@ class ASTI:
                 b=batch_size,
                 epsilon=epsilon,
                 max_samples=max_samples,
-                sample_batch_size=sample_batch_size,
-                reuse_pool=reuse_pool,
-                runtime=self._runtime,
+                context=self.context,
             )
 
-    def close(self) -> None:
-        """Release the parallel runtime's workers and shared memory.
+    @property
+    def sample_batch_size(self) -> int:
+        return self.context.sample_batch_size
 
-        A no-op without ``jobs``; safe to call repeatedly.  The runtime
-        also cleans itself up on garbage collection and interpreter exit,
-        so calling this is only required when recycling many facades in
-        one long-lived process.
+    @property
+    def reuse_pool(self) -> bool:
+        return self.context.reuse_pool
+
+    @property
+    def jobs(self) -> Optional[int]:
+        return self.context.jobs
+
+    def close(self) -> None:
+        """Release the private context's runtime (workers + shared memory).
+
+        A no-op without ``jobs`` or when an explicit ``context=`` was
+        handed in (its owner closes it); safe to call repeatedly.  The
+        runtime also cleans itself up on garbage collection and
+        interpreter exit, so calling this is only required when recycling
+        many facades in one long-lived process.
         """
-        if self._runtime is not None:
-            self._runtime.close()
+        if self._owns_context:
+            self.context.close()
 
     def __enter__(self) -> "ASTI":
         return self

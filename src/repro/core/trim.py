@@ -21,10 +21,10 @@ from repro.core.policy import SeedSelector, Selection, SelectionDiagnostics
 from repro.diffusion.base import DiffusionModel
 from repro.errors import BudgetExhaustedError, InfeasibleTargetError
 from repro.graph.residual import ResidualGraph
+from repro.runtime.context import UNSET, ExecutionContext, resolve_context
 from repro.sampling.bounds import coverage_lower_bound, coverage_upper_bound
-from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.sampling.mrr import CarriedMRRPool, build_round_pool
-from repro.utils.validation import check_fraction, check_positive_int
+from repro.utils.validation import check_fraction
 
 _ONE_MINUS_INV_E = 1.0 - 1.0 / math.e
 
@@ -86,24 +86,23 @@ class TrimSelector(SeedSelector):
         the cap without certification raises
         :class:`~repro.errors.BudgetExhaustedError` instead of returning the
         best-effort node.
-    sample_batch_size:
-        mRR sets generated per vectorized engine call when growing the
-        pool (see :class:`~repro.sampling.engine.BatchSampler`); purely a
-        throughput knob, distinct from TRIM-B's seed batch ``b``.
-    reuse_pool:
-        Carry the mRR pool across rounds when driven through
-        :meth:`select_with_pool` (the adaptive engine): sets whose members
-        are all still inactive and whose root count matches the new
-        round's rule are re-validated instead of resampled (see
-        :class:`~repro.sampling.mrr.CarriedMRRPool` for the invariant and
-        the from-scratch fallback).  ``False`` restores the paper-exact
-        fresh pool every round.
-    runtime:
-        Optional :class:`~repro.parallel.runtime.ParallelRuntime`: each
-        round's pool growth fans its sample chunks out across the
-        runtime's workers over the shared-memory residual graph, seeded
+    context:
+        The :class:`~repro.runtime.context.ExecutionContext` carrying the
+        engine policy this selector consumes: ``sample_batch_size`` (mRR
+        sets per vectorized engine call — purely a throughput knob,
+        distinct from TRIM-B's seed batch ``b``), ``reuse_pool`` (carry
+        the mRR pool across rounds when driven through
+        :meth:`select_with_pool`; sets whose members are all still
+        inactive and whose root count matches the new round's rule are
+        re-validated instead of resampled — see
+        :class:`~repro.sampling.mrr.CarriedMRRPool`; ``False`` restores
+        the paper-exact fresh pool every round), and the parallel
+        ``runtime`` (each round's pool growth fans its sample chunks out
+        across the workers over the shared-memory residual graph, seeded
         by global chunk index so the pool is bit-identical for any worker
-        count (see :meth:`~repro.sampling.engine.BatchSampler.fill`).
+        count).  The legacy ``sample_batch_size`` / ``reuse_pool`` /
+        ``runtime`` keyword arguments still work (a deprecation shim
+        builds an equivalent private context; outputs are bit-identical).
     """
 
     def __init__(
@@ -112,21 +111,40 @@ class TrimSelector(SeedSelector):
         epsilon: float = 0.5,
         max_samples: Optional[int] = None,
         strict_budget: bool = False,
-        sample_batch_size: int = DEFAULT_BATCH_SIZE,
-        reuse_pool: bool = True,
-        runtime=None,
+        sample_batch_size=UNSET,
+        reuse_pool=UNSET,
+        runtime=UNSET,
+        context: Optional[ExecutionContext] = None,
     ):
         check_fraction(epsilon, "epsilon")
-        check_positive_int(sample_batch_size, "sample_batch_size")
+        self.context, self._owns_context = resolve_context(
+            context,
+            "TrimSelector",
+            runtime=runtime,
+            sample_batch_size=sample_batch_size,
+            reuse_pool=reuse_pool,
+        )
         self.model = model
         self.epsilon = epsilon
-        self.max_samples = max_samples
+        # Context supplies the sampling cap unless given explicitly.
+        self.max_samples = (
+            max_samples if max_samples is not None else self.context.max_samples
+        )
         self.strict_budget = strict_budget
-        self.sample_batch_size = sample_batch_size
-        self.reuse_pool = reuse_pool
-        self.runtime = runtime
         self.name = "TRIM"
         self.batch_size = 1
+
+    @property
+    def sample_batch_size(self) -> int:
+        return self.context.sample_batch_size
+
+    @property
+    def reuse_pool(self) -> bool:
+        return self.context.reuse_pool
+
+    @property
+    def runtime(self):
+        return self.context.runtime
 
     def select(self, residual: ResidualGraph, rng: np.random.Generator) -> Selection:
         selection, _ = self.select_with_pool(residual, rng)
@@ -154,9 +172,8 @@ class TrimSelector(SeedSelector):
             residual,
             self.model,
             rng,
-            batch_size=self.sample_batch_size,
             carry=carry if self.reuse_pool else None,
-            runtime=self.runtime,
+            context=self.context,
         )
         pool.grow_to(params.theta_0)
 

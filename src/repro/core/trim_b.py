@@ -19,12 +19,12 @@ from repro.core.policy import SeedSelector, Selection, SelectionDiagnostics
 from repro.diffusion.base import DiffusionModel
 from repro.errors import BudgetExhaustedError, InfeasibleTargetError
 from repro.graph.residual import ResidualGraph
+from repro.runtime.context import UNSET, ExecutionContext, resolve_context
 from repro.sampling.bounds import (
     coverage_lower_bound,
     coverage_upper_bound,
     log_binomial,
 )
-from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.sampling.mrr import CarriedMRRPool, build_round_pool
 from repro.utils.validation import check_fraction, check_positive_int
 
@@ -111,23 +111,42 @@ class TrimBSelector(SeedSelector):
         epsilon: float = 0.5,
         max_samples: Optional[int] = None,
         strict_budget: bool = False,
-        sample_batch_size: int = DEFAULT_BATCH_SIZE,
-        reuse_pool: bool = True,
-        runtime=None,
+        sample_batch_size=UNSET,
+        reuse_pool=UNSET,
+        runtime=UNSET,
+        context: Optional[ExecutionContext] = None,
     ):
         check_fraction(epsilon, "epsilon")
         check_positive_int(b, "b")
-        check_positive_int(sample_batch_size, "sample_batch_size")
+        self.context, self._owns_context = resolve_context(
+            context,
+            "TrimBSelector",
+            runtime=runtime,
+            sample_batch_size=sample_batch_size,
+            reuse_pool=reuse_pool,
+        )
         self.model = model
         self.b = b
         self.epsilon = epsilon
-        self.max_samples = max_samples
+        # Context supplies the sampling cap unless given explicitly.
+        self.max_samples = (
+            max_samples if max_samples is not None else self.context.max_samples
+        )
         self.strict_budget = strict_budget
-        self.sample_batch_size = sample_batch_size
-        self.reuse_pool = reuse_pool
-        self.runtime = runtime
         self.name = f"TRIM-B({b})"
         self.batch_size = b
+
+    @property
+    def sample_batch_size(self) -> int:
+        return self.context.sample_batch_size
+
+    @property
+    def reuse_pool(self) -> bool:
+        return self.context.reuse_pool
+
+    @property
+    def runtime(self):
+        return self.context.runtime
 
     def select(self, residual: ResidualGraph, rng: np.random.Generator) -> Selection:
         selection, _ = self.select_with_pool(residual, rng)
@@ -157,9 +176,8 @@ class TrimBSelector(SeedSelector):
             residual,
             self.model,
             rng,
-            batch_size=self.sample_batch_size,
             carry=carry if self.reuse_pool else None,
-            runtime=self.runtime,
+            context=self.context,
         )
         pool.grow_to(params.theta_0)
 

@@ -45,7 +45,10 @@ def enumerate_ic_realizations(
             f"exact IC enumeration is limited to {_MAX_IC_EDGES} edges, "
             f"graph has {graph.m}"
         )
+    # Upcast once: world probabilities must multiply in float64 regardless
+    # of the graph's (possibly compact float32) storage policy.
     _, _, probs = graph.out_csr
+    probs = np.asarray(probs, dtype=np.float64)
     for pattern in itertools.product((False, True), repeat=graph.m):
         live = np.asarray(pattern, dtype=bool)
         probability = float(np.prod(np.where(live, probs, 1.0 - probs)))

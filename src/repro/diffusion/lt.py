@@ -87,10 +87,15 @@ class LinearThreshold(DiffusionModel):
         graph at a time, and each adaptive round brings a fresh residual
         graph that replaces the previous entry — so nothing beyond the
         current graph (identity-checked, immutable) is ever pinned.
+
+        The running sum must accumulate in float64 even when the graph
+        stores compact float32 probabilities: each addend upcasts exactly,
+        so the cumulative array (and every walk derived from it) is
+        bit-identical across storage policies.
         """
         if self._cum_graph is not graph:
             self._cum_graph = graph
-            self._cum_probs = np.cumsum(probs)
+            self._cum_probs = np.cumsum(probs, dtype=np.float64)
         return self._cum_probs
 
     def sample_realization(
@@ -109,7 +114,9 @@ class LinearThreshold(DiffusionModel):
             acc = 0.0
             x = draws[v]
             for pos in range(start, end):
-                acc += probs[pos]
+                # float() keeps the accumulation in float64 under compact
+                # float32 storage (the upcast of each addend is exact).
+                acc += float(probs[pos])
                 if x < acc:
                     chosen[v] = sources[pos]
                     break
@@ -226,7 +233,7 @@ class LinearThreshold(DiffusionModel):
             x = rng.random()
             acc = 0.0
             for pos in range(start, end):
-                acc += probs[pos]
+                acc += float(probs[pos])  # float64 under compact storage
                 if x < acc:
                     u = int(sources[pos])
                     if not visited[u]:

@@ -150,24 +150,49 @@ def _chunked_spread_sizes(
     return np.concatenate(pieces)
 
 
+def _resolve_estimator_policy(
+    mc_batch_size: Optional[int],
+    ci_halfwidth: Optional[float],
+    context,
+) -> "tuple[int, Optional[float]]":
+    """Effective ``(mc_batch_size, ci_halfwidth)`` for one estimator call.
+
+    Explicit arguments win; otherwise the context's ``mc_batch_size`` /
+    ``mc_tolerance`` apply; otherwise the engine defaults.
+    """
+    if mc_batch_size is None:
+        mc_batch_size = (
+            context.mc_batch_size if context is not None else None
+        ) or DEFAULT_MC_BATCH_SIZE
+    if ci_halfwidth is None and context is not None:
+        ci_halfwidth = context.mc_tolerance
+    return mc_batch_size, ci_halfwidth
+
+
 def estimate_spread(
     graph: DiGraph,
     model: DiffusionModel,
     seeds: Sequence[int],
     samples: int = 1000,
     seed: RandomSource = None,
-    mc_batch_size: int = DEFAULT_MC_BATCH_SIZE,
+    mc_batch_size: Optional[int] = None,
     ci_halfwidth: Optional[float] = None,
+    context=None,
 ) -> MonteCarloEstimate:
     """Estimate ``E[I(S)]`` by averaging up to ``samples`` forward cascades.
 
     Cascades are generated ``mc_batch_size`` at a time through the batched
-    forward engine.  When ``ci_halfwidth`` is given, estimation stops early
-    — but never before the first chunk — once the 95% CI half-width
-    (``1.96 * stderr``) drops to the tolerance; the returned estimate's
-    ``samples`` field reports how many cascades were actually used.
+    forward engine (``None`` defers to ``context.mc_batch_size``, then the
+    engine default).  When ``ci_halfwidth`` (or ``context.mc_tolerance``)
+    is given, estimation stops early — but never before the first chunk —
+    once the 95% CI half-width (``1.96 * stderr``) drops to the tolerance;
+    the returned estimate's ``samples`` field reports how many cascades
+    were actually used.
     """
     check_positive_int(samples, "samples")
+    mc_batch_size, ci_halfwidth = _resolve_estimator_policy(
+        mc_batch_size, ci_halfwidth, context
+    )
     check_positive_int(mc_batch_size, "mc_batch_size")
     rng = as_generator(seed)
     sizes = _chunked_spread_sizes(
@@ -183,12 +208,16 @@ def estimate_truncated_spread(
     eta: int,
     samples: int = 1000,
     seed: RandomSource = None,
-    mc_batch_size: int = DEFAULT_MC_BATCH_SIZE,
+    mc_batch_size: Optional[int] = None,
     ci_halfwidth: Optional[float] = None,
+    context=None,
 ) -> MonteCarloEstimate:
     """Estimate ``E[Gamma(S)] = E[min{I(S), eta}]`` by batched simulation."""
     check_positive_int(samples, "samples")
     check_positive_int(eta, "eta")
+    mc_batch_size, ci_halfwidth = _resolve_estimator_policy(
+        mc_batch_size, ci_halfwidth, context
+    )
     check_positive_int(mc_batch_size, "mc_batch_size")
     rng = as_generator(seed)
     sizes = _chunked_spread_sizes(
@@ -203,7 +232,8 @@ def estimate_activation_probabilities(
     seeds: Sequence[int],
     samples: int = 1000,
     seed: RandomSource = None,
-    mc_batch_size: int = DEFAULT_MC_BATCH_SIZE,
+    mc_batch_size: Optional[int] = None,
+    context=None,
 ) -> np.ndarray:
     """Per-node activation probability under cascades from ``seeds``.
 
@@ -212,6 +242,7 @@ def estimate_activation_probabilities(
     per chunk instead of one dense mask addition per cascade.
     """
     check_positive_int(samples, "samples")
+    mc_batch_size, _ = _resolve_estimator_policy(mc_batch_size, None, context)
     check_positive_int(mc_batch_size, "mc_batch_size")
     rng = as_generator(seed)
     totals = np.zeros(graph.n, dtype=np.float64)
@@ -353,8 +384,15 @@ class CRNSpreadEvaluator:
         bitset_budget: int = _CRN_BITSET_BUDGET,
         mc_batch_size: Optional[int] = None,
         runtime=None,
+        context=None,
     ):
         check_positive_int(n_sims, "n_sims")
+        # Context defaults with explicit-argument override (the low-level
+        # escape hatch, like the reverse engine's).
+        if context is not None and mc_batch_size is None:
+            mc_batch_size = context.mc_batch_size
+        if context is not None and runtime is None:
+            runtime = context.runtime
         if mc_batch_size is not None:
             check_positive_int(mc_batch_size, "mc_batch_size")
         self.graph = graph
@@ -511,13 +549,16 @@ def estimate_spreads_many(
     seed: RandomSource = None,
     mc_batch_size: Optional[int] = None,
     runtime=None,
+    context=None,
 ) -> np.ndarray:
     """One-shot common-random-number evaluation of many candidate sets.
 
     Convenience wrapper constructing a throwaway :class:`CRNSpreadEvaluator`
     — callers that re-evaluate against the same noise (CELF's lazy queue)
-    should hold on to an evaluator instead.  ``runtime`` shards the sweeps
-    across workers; the estimates are bit-identical either way.
+    should hold on to an evaluator instead.  ``context`` supplies the
+    ``mc_batch_size`` / runtime policy (explicit arguments override); a
+    runtime shards the sweeps across workers and the estimates are
+    bit-identical either way.
     """
     with CRNSpreadEvaluator(
         graph,
@@ -526,5 +567,6 @@ def estimate_spreads_many(
         seed=seed,
         mc_batch_size=mc_batch_size,
         runtime=runtime,
+        context=context,
     ) as evaluator:
         return evaluator.evaluate_many(seed_sets, eta=eta)

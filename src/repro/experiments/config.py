@@ -21,8 +21,14 @@ from repro.diffusion.ic import IndependentCascade
 from repro.diffusion.lt import LinearThreshold
 from repro.errors import ConfigurationError
 from repro.experiments import datasets
+from repro.runtime.context import GRAPH_STORAGE_POLICIES, ExecutionContext
 from repro.sampling.engine import DEFAULT_BATCH_SIZE
-from repro.utils.validation import check_fraction, check_positive_int
+from repro.utils.validation import (
+    check_fraction,
+    check_optional_positive_int,
+    check_positive_float,
+    check_positive_int,
+)
 
 #: The paper's full roster (Section 6.1).
 PAPER_ALGORITHMS: Tuple[str, ...] = (
@@ -49,10 +55,12 @@ class ExperimentConfig:
     sample_batch_size: int = DEFAULT_BATCH_SIZE  # engine sets per vectorized call
     mc_batch_size: Optional[int] = None          # forward cascades per engine call
                                                  # (None = engine default)
+    mc_tolerance: Optional[float] = None         # MC early-stop CI half-width
     reuse_pool: bool = True                      # carry mRR pools across rounds
     jobs: int = 1                                # harness worker processes
                                                  # (1 = in-process; results are
                                                  # identical for any value)
+    graph_storage: str = "adaptive"              # CSR layout: "adaptive"|"wide"
     seed: int = 0
     label: str = field(default="")
 
@@ -63,10 +71,18 @@ class ExperimentConfig:
                 f"model_name must be 'IC' or 'LT', got {self.model_name!r}"
             )
         check_positive_int(self.realizations, "realizations")
+        # The engine knobs share one validator set with the CLI and the
+        # execution context, so every layer rejects a bad value with the
+        # same message.
         check_positive_int(self.sample_batch_size, "sample_batch_size")
         check_positive_int(self.jobs, "jobs")
-        if self.mc_batch_size is not None:
-            check_positive_int(self.mc_batch_size, "mc_batch_size")
+        check_optional_positive_int(self.mc_batch_size, "mc_batch_size")
+        check_positive_float(self.mc_tolerance, "mc_tolerance")
+        if self.graph_storage not in GRAPH_STORAGE_POLICIES:
+            raise ConfigurationError(
+                f"graph_storage must be one of {GRAPH_STORAGE_POLICIES}, "
+                f"got {self.graph_storage!r}"
+            )
         check_fraction(self.epsilon, "epsilon")
         for fraction in self.eta_fractions:
             if not 0.0 < fraction <= 1.0:
@@ -82,6 +98,25 @@ class ExperimentConfig:
     def make_model(self) -> DiffusionModel:
         """Instantiate the configured diffusion model."""
         return IndependentCascade() if self.model_name == "IC" else LinearThreshold()
+
+    def to_context(self) -> ExecutionContext:
+        """The execution context this config describes — the single source
+        of truth for engine policy in a sweep.
+
+        :func:`repro.experiments.harness.run_sweep` builds exactly one
+        context per sweep from this method and owns its lifecycle (the
+        parallel runtime spawns once for all eta points); every engine
+        below receives it as the one ``context=`` argument.
+        """
+        return ExecutionContext(
+            sample_batch_size=self.sample_batch_size,
+            mc_batch_size=self.mc_batch_size,
+            mc_tolerance=self.mc_tolerance,
+            reuse_pool=self.reuse_pool,
+            jobs=self.jobs,
+            max_samples=self.max_samples,
+            graph_storage=self.graph_storage,
+        )
 
     def build_graph(self):
         """Materialize the configured dataset graph."""

@@ -36,9 +36,8 @@ from repro.diffusion.realization import Realization
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.graph.digraph import DiGraph
-from repro.parallel.runtime import ParallelRuntime
 from repro.parallel.shm import realizations_shareable
-from repro.sampling.engine import DEFAULT_BATCH_SIZE
+from repro.runtime.context import UNSET, ExecutionContext, resolve_context
 from repro.utils.rng import spawn_generators, spawn_seed_sequences
 from repro.utils.stats import summarize
 
@@ -98,26 +97,38 @@ def build_algorithm(
     model: DiffusionModel,
     epsilon: float,
     max_samples: Optional[int],
-    sample_batch_size: int = DEFAULT_BATCH_SIZE,
-    mc_batch_size: Optional[int] = None,
-    reuse_pool: bool = True,
-    runtime: Optional[ParallelRuntime] = None,
+    sample_batch_size=UNSET,
+    mc_batch_size=UNSET,
+    reuse_pool=UNSET,
+    runtime=UNSET,
+    context: Optional[ExecutionContext] = None,
 ):
     """Instantiate a roster entry from its label.
 
-    ``runtime`` only reaches the CELF entry (its CRN sweeps are worker-
-    count invariant); the adaptive entries parallelize at the realization
-    level instead, so handing them a runtime here would change their
-    sampling streams relative to a ``jobs=1`` run.
+    The entry consumes the engine policy from ``context`` (legacy per-knob
+    kwargs still resolve through the deprecation shim).  Only the CELF
+    entry sees the context's parallel runtime (its CRN sweeps are worker-
+    count invariant); the adaptive entries and ATEUC parallelize at the
+    realization level instead, so handing their pool growth a runtime here
+    would change their sampling streams relative to a ``jobs=1`` run —
+    they receive ``context.sequential()``.
     """
+    context, _ = resolve_context(
+        context,
+        "build_algorithm",
+        runtime=runtime,
+        sample_batch_size=sample_batch_size,
+        mc_batch_size=mc_batch_size,
+        reuse_pool=reuse_pool,
+    )
+    sequential = context.sequential()
     if label == "ASTI":
         return ASTI(
             model,
             epsilon=epsilon,
             batch_size=1,
             max_samples=max_samples,
-            sample_batch_size=sample_batch_size,
-            reuse_pool=reuse_pool,
+            context=sequential,
         )
     if label.startswith("ASTI-"):
         batch = int(label.split("-", 1)[1])
@@ -126,24 +137,22 @@ def build_algorithm(
             epsilon=epsilon,
             batch_size=batch,
             max_samples=max_samples,
-            sample_batch_size=sample_batch_size,
-            reuse_pool=reuse_pool,
+            context=sequential,
         )
     if label == "AdaptIM":
         return AdaptIM(
             model,
             epsilon=epsilon,
             max_samples=max_samples,
-            sample_batch_size=sample_batch_size,
+            context=sequential,
         )
     if label == "ATEUC":
-        return ATEUC(model, sample_batch_size=sample_batch_size)
+        return ATEUC(model, context=sequential)
     if label == "CELF":
         return CELFMinimizer(
             model,
             samples=CELF_HARNESS_SAMPLES,
-            mc_batch_size=mc_batch_size,
-            runtime=runtime,
+            context=context,
         )
     raise ConfigurationError(f"unknown algorithm label {label!r}")
 
@@ -168,17 +177,28 @@ def run_eta_point(
     epsilon: float = 0.5,
     max_samples: Optional[int] = None,
     seed: int = 0,
-    sample_batch_size: int = DEFAULT_BATCH_SIZE,
-    mc_batch_size: Optional[int] = None,
-    reuse_pool: bool = True,
-    runtime: Optional[ParallelRuntime] = None,
-) -> Dict[str, AlgorithmOutcome]:
+    sample_batch_size=UNSET,
+    mc_batch_size=UNSET,
+    reuse_pool=UNSET,
+    runtime=UNSET,
+    context: Optional[ExecutionContext] = None,
+) -> Dict[str, "AlgorithmOutcome"]:
     """Compare ``algorithms`` at a single threshold ``eta``.
 
-    With a multi-worker ``runtime``, each algorithm's independent
-    realizations run as contiguous shards on the worker pool; results are
-    bit-identical to running without one.
+    The engine policy comes from ``context`` (legacy per-knob kwargs keep
+    working through the deprecation shim).  With a multi-worker runtime on
+    the context, each algorithm's independent realizations run as
+    contiguous shards on the worker pool; results are bit-identical to
+    running without one.
     """
+    context, _ = resolve_context(
+        context,
+        "run_eta_point",
+        runtime=runtime,
+        sample_batch_size=sample_batch_size,
+        mc_batch_size=mc_batch_size,
+        reuse_pool=reuse_pool,
+    )
     outcomes: Dict[str, AlgorithmOutcome] = {}
     for label in algorithms:
         spec = dict(
@@ -186,18 +206,22 @@ def run_eta_point(
             model=model,
             epsilon=epsilon,
             max_samples=max_samples,
-            sample_batch_size=sample_batch_size,
-            mc_batch_size=mc_batch_size,
-            reuse_pool=reuse_pool,
         )
         outcome = AlgorithmOutcome(algorithm=label, eta=eta)
         if label in NON_ADAPTIVE_ALGORITHMS:
-            algorithm = build_algorithm(**spec, runtime=runtime)
+            algorithm = build_algorithm(**spec, context=context)
             _run_non_adaptive(
-                algorithm, graph, eta, realizations, seed, outcome, runtime
+                algorithm, graph, eta, realizations, seed, outcome,
+                context.runtime,
             )
         else:
-            _run_adaptive(spec, graph, eta, realizations, seed, outcome, runtime)
+            # Worker shards rebuild the algorithm from the spec, so the
+            # pickled context must already be the runtime-free sequential
+            # one (a context never ships its runtime across processes).
+            spec["context"] = context.sequential()
+            _run_adaptive(
+                spec, graph, eta, realizations, seed, outcome, context.runtime
+            )
         outcomes[label] = outcome
     return outcomes
 
@@ -328,18 +352,23 @@ class SweepResult:
 def run_sweep(config: ExperimentConfig) -> SweepResult:
     """Run the full paper-style sweep described by ``config``.
 
-    ``config.jobs`` sizes the parallel runtime shared by every eta point
-    (worker processes spawn once, the graph maps into shared memory once);
-    the sweep's numbers are bit-identical for any jobs value.
+    ``config.to_context()`` is the single source of truth for engine
+    policy: one :class:`~repro.runtime.context.ExecutionContext` is built
+    here, owns the sweep's parallel runtime (worker processes spawn once
+    for every eta point, the graph maps into shared memory once), records
+    the graph's storage decision in its diagnostics, and is closed when
+    the sweep finishes.  The sweep's numbers are bit-identical for any
+    ``jobs`` value.
     """
-    graph = config.build_graph()
     model = config.make_model()
-    realizations = sample_shared_realizations(
-        graph, model, config.realizations, seed=config.seed + 10
-    )
-    eta_values = config.eta_values(graph.n)
     outcomes: Dict[int, Dict[str, AlgorithmOutcome]] = {}
-    with ParallelRuntime(config.jobs) as runtime:
+    with config.to_context() as context:
+        graph = context.apply_storage(config.build_graph())
+        context.note_graph(graph)
+        realizations = sample_shared_realizations(
+            graph, model, config.realizations, seed=config.seed + 10
+        )
+        eta_values = config.eta_values(graph.n)
         for eta in eta_values:
             outcomes[eta] = run_eta_point(
                 graph,
@@ -350,9 +379,6 @@ def run_sweep(config: ExperimentConfig) -> SweepResult:
                 epsilon=config.epsilon,
                 max_samples=config.max_samples,
                 seed=config.seed,
-                sample_batch_size=config.sample_batch_size,
-                mc_batch_size=config.mc_batch_size,
-                reuse_pool=config.reuse_pool,
-                runtime=runtime,
+                context=context,
             )
     return SweepResult(config=config, eta_values=eta_values, outcomes=outcomes)

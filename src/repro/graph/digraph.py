@@ -23,6 +23,45 @@ from repro.errors import EdgeError, GraphError, NodeNotFoundError
 
 Edge = Tuple[int, int, float]
 
+#: Graph storage policies.  ``adaptive`` downcasts CSR arrays where the
+#: downcast is provably lossless (int32 index/indptr arrays when both the
+#: node and edge counts fit, float32 probabilities when every value
+#: round-trips exactly); ``wide`` pins the historical int64/float64 layout.
+#: Every sampler and simulator consumes the arrays through NumPy operations
+#: that promote exactly (compares, float64 accumulators, index gathers), so
+#: the two layouts produce bit-identical results — the dtype-equivalence
+#: tests pin this.
+STORAGE_POLICIES = ("adaptive", "wide")
+
+_INT32_LIMIT = np.iinfo(np.int32).max
+
+
+def csr_index_dtype(n: int, m: int) -> np.dtype:
+    """Narrowest safe dtype for the CSR index/indptr arrays of ``(n, m)``.
+
+    ``indptr`` values run up to ``m`` and index values up to ``n - 1``, so
+    int32 is exact whenever both counts fit; int64 otherwise.
+    """
+    if n + 1 <= _INT32_LIMIT and m <= _INT32_LIMIT:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
+def csr_prob_dtype(probabilities: np.ndarray) -> np.dtype:
+    """float32 when the downcast is lossless for every value, else float64.
+
+    Lossless means every probability survives a float32 round-trip exactly
+    (powers of two like 0.5/0.25, and most hand-authored test weights do;
+    weighted-cascade values like 1/3 do not) — only then can the compact
+    layout be numerically indistinguishable, because float32 -> float64
+    promotion is always exact.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    narrow = probabilities.astype(np.float32)
+    if np.array_equal(narrow.astype(np.float64), probabilities):
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
 
 class DiGraph:
     """A directed graph with per-edge propagation probabilities.
@@ -42,6 +81,7 @@ class DiGraph:
     __slots__ = (
         "n",
         "m",
+        "storage",
         "_out_indptr",
         "_out_targets",
         "_out_probs",
@@ -59,11 +99,14 @@ class DiGraph:
         in_indptr: np.ndarray,
         in_sources: np.ndarray,
         in_probs: np.ndarray,
+        storage: str = "adaptive",
     ):
         """Low-level constructor from pre-built CSR arrays.
 
         Most callers should use :meth:`from_edges`; this constructor trusts
-        its arguments apart from cheap shape checks.
+        its arguments apart from cheap shape checks.  ``storage`` records
+        the policy the arrays were built under so derived graphs
+        (:meth:`induced_subgraph`, :meth:`with_probabilities`) inherit it.
         """
         if n < 0:
             raise GraphError(f"node count must be non-negative, got {n}")
@@ -75,8 +118,13 @@ class DiGraph:
             raise GraphError("in_sources and in_probs must have equal length")
         if len(out_targets) != len(in_sources):
             raise GraphError("forward and reverse CSR must describe the same edges")
+        if storage not in STORAGE_POLICIES:
+            raise GraphError(
+                f"storage must be one of {STORAGE_POLICIES}, got {storage!r}"
+            )
         self.n = int(n)
         self.m = int(len(out_targets))
+        self.storage = storage
         self._out_indptr = out_indptr
         self._out_targets = out_targets
         self._out_probs = out_probs
@@ -89,7 +137,9 @@ class DiGraph:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_edges(cls, n: int, edges: Iterable[Edge]) -> "DiGraph":
+    def from_edges(
+        cls, n: int, edges: Iterable[Edge], storage: str = "adaptive"
+    ) -> "DiGraph":
         """Build a graph from ``(source, target, probability)`` triples.
 
         Self-loops and out-of-range endpoints raise :class:`EdgeError`;
@@ -106,7 +156,7 @@ class DiGraph:
             src = np.empty(0, dtype=np.int64)
             dst = np.empty(0, dtype=np.int64)
             prob = np.empty(0, dtype=np.float64)
-        return cls.from_arrays(n, src, dst, prob)
+        return cls.from_arrays(n, src, dst, prob, storage=storage)
 
     @classmethod
     def from_arrays(
@@ -115,8 +165,21 @@ class DiGraph:
         sources: np.ndarray,
         targets: np.ndarray,
         probabilities: np.ndarray,
+        storage: str = "adaptive",
     ) -> "DiGraph":
-        """Build a graph from parallel NumPy edge arrays (vectorized path)."""
+        """Build a graph from parallel NumPy edge arrays (vectorized path).
+
+        ``storage`` selects the CSR array layout: ``"adaptive"`` (default)
+        stores index/indptr arrays as int32 when ``n`` and ``m`` fit and
+        probabilities as float32 when that is lossless, halving the memory
+        (and shared-memory segment) footprint with bit-identical sampling
+        behavior; ``"wide"`` pins the int64/float64 reference layout (the
+        dtype-equivalence tests compare the two).
+        """
+        if storage not in STORAGE_POLICIES:
+            raise GraphError(
+                f"storage must be one of {STORAGE_POLICIES}, got {storage!r}"
+            )
         sources = np.asarray(sources, dtype=np.int64)
         targets = np.asarray(targets, dtype=np.int64)
         probabilities = np.asarray(probabilities, dtype=np.float64)
@@ -132,8 +195,18 @@ class DiGraph:
             if np.any(probabilities <= 0.0) or np.any(probabilities > 1.0):
                 raise EdgeError("edge probabilities must lie in (0, 1]")
 
-        out_indptr, out_targets, out_probs = _build_csr(n, sources, targets, probabilities)
-        in_indptr, in_sources, in_probs = _build_csr(n, targets, sources, probabilities)
+        if storage == "adaptive":
+            index_dtype = csr_index_dtype(n, len(sources))
+            prob_dtype = csr_prob_dtype(probabilities)
+        else:
+            index_dtype = np.dtype(np.int64)
+            prob_dtype = np.dtype(np.float64)
+        out_indptr, out_targets, out_probs = _build_csr(
+            n, sources, targets, probabilities, index_dtype, prob_dtype
+        )
+        in_indptr, in_sources, in_probs = _build_csr(
+            n, targets, sources, probabilities, index_dtype, prob_dtype
+        )
         return cls(
             n,
             out_indptr,
@@ -142,6 +215,7 @@ class DiGraph:
             in_indptr,
             in_sources,
             in_probs,
+            storage=storage,
         )
 
     # ------------------------------------------------------------------
@@ -204,6 +278,61 @@ class DiGraph:
         return self._in_indptr, self._in_sources, self._in_probs
 
     # ------------------------------------------------------------------
+    # Storage introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def index_dtype(self) -> np.dtype:
+        """Dtype of the CSR index/indptr arrays (int32 when compact)."""
+        return self._out_targets.dtype
+
+    @property
+    def prob_dtype(self) -> np.dtype:
+        """Dtype of the probability arrays (float32 when lossless)."""
+        return self._out_probs.dtype
+
+    @property
+    def csr_nbytes(self) -> int:
+        """Total bytes of the six CSR arrays (the shared-memory payload)."""
+        return int(
+            self._out_indptr.nbytes
+            + self._out_targets.nbytes
+            + self._out_probs.nbytes
+            + self._in_indptr.nbytes
+            + self._in_sources.nbytes
+            + self._in_probs.nbytes
+        )
+
+    def with_storage(self, storage: str) -> "DiGraph":
+        """Rebuild this graph under another storage policy.
+
+        ``"wide"`` upcasts every CSR array to int64/float64; ``"adaptive"``
+        re-applies the lossless downcasts.  Topology, edge order, and (by
+        losslessness) every probability value are preserved exactly, so the
+        two layouts sample bit-identically.
+        """
+        if storage not in STORAGE_POLICIES:
+            raise GraphError(
+                f"storage must be one of {STORAGE_POLICIES}, got {storage!r}"
+            )
+        if storage == "adaptive":
+            index_dtype = csr_index_dtype(self.n, self.m)
+            prob_dtype = csr_prob_dtype(self._out_probs)
+        else:
+            index_dtype = np.dtype(np.int64)
+            prob_dtype = np.dtype(np.float64)
+        return DiGraph(
+            self.n,
+            self._out_indptr.astype(index_dtype),
+            self._out_targets.astype(index_dtype),
+            self._out_probs.astype(prob_dtype),
+            self._in_indptr.astype(index_dtype),
+            self._in_sources.astype(index_dtype),
+            self._in_probs.astype(prob_dtype),
+            storage=storage,
+        )
+
+    # ------------------------------------------------------------------
     # Edge iteration / export
     # ------------------------------------------------------------------
 
@@ -219,9 +348,15 @@ class DiGraph:
 
         Edges come out grouped by source in ascending order, which is the
         canonical ordering used by :meth:`__eq__` and the IO round-trip.
+        Always int64/float64 regardless of the internal storage policy
+        (the export is a copy anyway, and float32 -> float64 is exact).
         """
         sources = np.repeat(np.arange(self.n, dtype=np.int64), self.out_degrees())
-        return sources, self._out_targets.copy(), self._out_probs.copy()
+        return (
+            sources,
+            self._out_targets.astype(np.int64),
+            self._out_probs.astype(np.float64),
+        )
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether at least one directed edge ``u -> v`` exists."""
@@ -254,6 +389,7 @@ class DiGraph:
             self._out_indptr,
             self._out_targets,
             self._out_probs,
+            storage=self.storage,
         )
 
     def with_probabilities(self, probabilities_by_edge) -> "DiGraph":
@@ -268,7 +404,7 @@ class DiGraph:
             dtype=np.float64,
             count=len(src),
         )
-        return DiGraph.from_arrays(self.n, src, dst, probs)
+        return DiGraph.from_arrays(self.n, src, dst, probs, storage=self.storage)
 
     def induced_subgraph(self, keep: np.ndarray) -> Tuple["DiGraph", np.ndarray]:
         """Induce the subgraph on the nodes flagged in boolean mask ``keep``.
@@ -287,8 +423,14 @@ class DiGraph:
 
         src, dst, probs = self.edge_arrays()
         mask = keep[src] & keep[dst]
+        # Derived graphs inherit the storage policy, so a "wide" reference
+        # graph keeps the int64/float64 layout through every residual round.
         sub = DiGraph.from_arrays(
-            len(kept_ids), new_id[src[mask]], new_id[dst[mask]], probs[mask]
+            len(kept_ids),
+            new_id[src[mask]],
+            new_id[dst[mask]],
+            probs[mask],
+            storage=self.storage,
         )
         return sub, kept_ids
 
@@ -322,17 +464,26 @@ def _build_csr(
     group_by: np.ndarray,
     values: np.ndarray,
     probs: np.ndarray,
+    index_dtype: np.dtype = np.dtype(np.int64),
+    prob_dtype: np.dtype = np.dtype(np.float64),
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Group ``(values, probs)`` by ``group_by`` into CSR arrays.
 
     Within each group the stored order follows a stable sort of ``group_by``,
     i.e. original insertion order, which keeps round-trips deterministic.
+    The output arrays are cast to the requested storage dtypes (callers
+    guarantee the cast is lossless; see :func:`csr_index_dtype` /
+    :func:`csr_prob_dtype`).
     """
     counts = np.bincount(group_by, minlength=n) if len(group_by) else np.zeros(n, dtype=np.int64)
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
     order = np.argsort(group_by, kind="stable")
-    return indptr, values[order].astype(np.int64), probs[order].astype(np.float64)
+    return (
+        indptr.astype(index_dtype),
+        values[order].astype(index_dtype),
+        probs[order].astype(prob_dtype),
+    )
 
 
 def gather_csr_rows(indptr: np.ndarray, nodes: np.ndarray) -> np.ndarray:

@@ -17,7 +17,6 @@ All generators return *unweighted* topology with a placeholder probability of
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

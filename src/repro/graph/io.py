@@ -13,6 +13,7 @@ provided for large generated datasets.
 
 from __future__ import annotations
 
+import gzip
 import io
 from pathlib import Path
 from typing import TextIO, Union
@@ -25,11 +26,25 @@ from repro.graph.digraph import DiGraph
 PathLike = Union[str, Path]
 
 
+def _open_text(path: PathLike, mode: str) -> TextIO:
+    """Open a path as text, transparently gzipped for ``.gz`` suffixes.
+
+    SNAP dumps ship as ``*.txt.gz``; accepting them directly saves the
+    decompress-to-disk step on every dataset download.
+    """
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
 def write_edge_list(graph: DiGraph, destination: Union[PathLike, TextIO]) -> None:
-    """Write ``graph`` as a text edge list with probabilities."""
+    """Write ``graph`` as a text edge list with probabilities.
+
+    A ``.gz`` destination path is written gzip-compressed.
+    """
     close = False
     if isinstance(destination, (str, Path)):
-        handle: TextIO = open(destination, "w", encoding="utf-8")
+        handle: TextIO = _open_text(destination, "w")
         close = True
     else:
         handle = destination
@@ -52,7 +67,8 @@ def read_edge_list(
     Parameters
     ----------
     source:
-        Path or open text handle.
+        Path or open text handle.  A ``.gz`` path is read through gzip
+        transparently (SNAP edge lists ship gzipped).
     n:
         Node count.  If 0, inferred as ``max endpoint + 1`` (or taken from a
         leading ``# nodes N edges M`` header when present).
@@ -61,7 +77,7 @@ def read_edge_list(
     """
     close = False
     if isinstance(source, (str, Path)):
-        handle: TextIO = open(source, "r", encoding="utf-8")
+        handle: TextIO = _open_text(source, "r")
         close = True
     else:
         handle = source

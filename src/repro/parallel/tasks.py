@@ -80,7 +80,9 @@ def sample_chunk(
     members, indptr = model.reverse_sample_batch(
         graph, root_ids, roots_indptr, rng, scratch
     )
-    return members, indptr, np.diff(roots_indptr)
+    # Members are node ids < n: ship them at the graph's (compact) index
+    # width, halving the pickled result payload on int32-eligible graphs.
+    return members.astype(graph.index_dtype, copy=False), indptr, np.diff(roots_indptr)
 
 
 def worker_sample_chunk(

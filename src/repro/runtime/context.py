@@ -1,0 +1,327 @@
+"""The unified execution context.
+
+Every engine in the library — the batched (m)RR sampler, the CRN forward
+evaluator, the adaptive-session engine, the experiment harness, and the
+baselines — used to thread its own set of policy knobs (``sample_batch_size``,
+``mc_batch_size``, ``mc_tolerance``, ``reuse_pool``, ``jobs``, ``runtime``)
+through a per-layer parameter chain.  :class:`ExecutionContext` replaces all
+of those chains with one object owned at the top of a run and visible at
+every layer:
+
+* **batching policy** — ``sample_batch_size`` for the reverse engine,
+  ``mc_batch_size`` / ``mc_tolerance`` for the forward estimators;
+* **pool policy** — ``reuse_pool`` for the adaptive cross-round carry-over;
+* **parallelism** — ``jobs`` plus the lazily created
+  :class:`~repro.parallel.runtime.ParallelRuntime` (context-manager
+  lifecycle; one owner per sweep — facades that receive a context never
+  close it, facades that build one from legacy kwargs do);
+* **randomness** — a ``SeedSequence``-rooted factory
+  (:meth:`ExecutionContext.generator` / :meth:`spawn_seed_sequences` /
+  :meth:`spawn_generators`) replacing ad-hoc ``spawn_generators`` plumbing;
+* **storage** — the compact-graph policy (``graph_storage``) together with
+  :meth:`note_graph`, which records each graph's dtype decision in the
+  aggregated :attr:`diagnostics` sink.
+
+Legacy per-knob keyword arguments on the public facades keep working
+through :func:`resolve_context`, which builds an equivalent context and
+emits a :class:`DeprecationWarning` — outputs are bit-identical either way
+(the equivalence tests pin this).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sampling.engine import DEFAULT_BATCH_SIZE
+from repro.utils.rng import (
+    RandomSource,
+    as_generator,
+    spawn_generators,
+    spawn_seed_sequences,
+)
+from repro.utils.validation import (
+    check_jobs,
+    check_optional_positive_int,
+    check_positive_float,
+    check_positive_int,
+)
+
+#: Sentinel distinguishing "caller did not pass this legacy kwarg" from any
+#: legitimate value (``None`` is legitimate for ``jobs`` and ``runtime``).
+UNSET = type("_Unset", (), {"__repr__": lambda self: "UNSET"})()
+
+#: Accepted graph-storage policies: ``adaptive`` downcasts CSR arrays where
+#: lossless (int32 indices, float32 probabilities), ``wide`` pins the
+#: historical int64/float64 layout.
+GRAPH_STORAGE_POLICIES = ("adaptive", "wide")
+
+
+@dataclass
+class ExecutionContext:
+    """All engine policy for one run, owned in one place.
+
+    Parameters
+    ----------
+    sample_batch_size:
+        (m)RR sets generated per vectorized reverse-engine call.
+    mc_batch_size:
+        Forward cascades (or CRN jobs) per vectorized engine call;
+        ``None`` lets each forward engine pick its own default.
+    mc_tolerance:
+        Optional CI half-width (nodes) at which Monte-Carlo estimation
+        stops early; ``None`` disables the early stop.
+    reuse_pool:
+        Carry re-validated mRR pools across adaptive rounds (TRIM/TRIM-B).
+    jobs:
+        Worker processes for the parallel runtime.  ``None`` keeps every
+        engine on its historical in-process single-stream route; any
+        explicit value routes through the chunk-seeded parallel scheme,
+        whose output is identical for every worker count (``jobs=1`` runs
+        the same chunks in-process).
+    max_samples:
+        Optional per-round cap on (m)RR pool sizes (budget envelope).
+    graph_storage:
+        ``"adaptive"`` (default) or ``"wide"``; see
+        :meth:`repro.graph.digraph.DiGraph.from_arrays`.
+    """
+
+    sample_batch_size: int = DEFAULT_BATCH_SIZE
+    mc_batch_size: Optional[int] = None
+    mc_tolerance: Optional[float] = None
+    reuse_pool: bool = True
+    jobs: Optional[int] = None
+    max_samples: Optional[int] = None
+    graph_storage: str = "adaptive"
+    #: Aggregated diagnostics sink: engines tally counters here (mRR pool
+    #: builds and carry-over totals via ``build_round_pool``) and sweeps
+    #: record decisions (the graph's storage/dtype choice via
+    #: :meth:`note_graph`).  Parent-side only: contexts pickled into
+    #: worker processes carry a *copy* of the dict, so worker-side tallies
+    #: stay in the worker.
+    diagnostics: Dict[str, object] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.sample_batch_size, "sample_batch_size")
+        check_optional_positive_int(self.mc_batch_size, "mc_batch_size")
+        check_positive_float(self.mc_tolerance, "mc_tolerance")
+        check_jobs(self.jobs)
+        check_optional_positive_int(self.max_samples, "max_samples")
+        if self.graph_storage not in GRAPH_STORAGE_POLICIES:
+            raise ConfigurationError(
+                f"graph_storage must be one of {GRAPH_STORAGE_POLICIES}, "
+                f"got {self.graph_storage!r}"
+            )
+        self._runtime = None
+        self._owns_runtime = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Parallel runtime lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def runtime(self):
+        """The context's :class:`~repro.parallel.runtime.ParallelRuntime`.
+
+        ``None`` when ``jobs`` is ``None`` (the historical in-process
+        route).  Otherwise created lazily on first access and owned by this
+        context — :meth:`close` (or the ``with`` block) releases its worker
+        pool and shared-memory segments.  A runtime handed in through
+        :meth:`attach_runtime` is used but never closed here.
+        """
+        if self._runtime is None and self.jobs is not None and not self._closed:
+            from repro.parallel.runtime import ParallelRuntime
+
+            self._runtime = ParallelRuntime(self.jobs)
+            self._owns_runtime = True
+        return self._runtime
+
+    def attach_runtime(self, runtime) -> "ExecutionContext":
+        """Use an externally owned runtime instead of creating one.
+
+        The caller keeps ownership: this context never closes an attached
+        runtime.  Returns ``self`` for chaining.
+        """
+        if self._runtime is not None and self._owns_runtime:
+            raise ConfigurationError(
+                "context already created its own runtime; attach before "
+                "the first .runtime access"
+            )
+        self._runtime = runtime
+        self._owns_runtime = False
+        if runtime is not None:
+            self.jobs = runtime.jobs
+        return self
+
+    def close(self) -> None:
+        """Release the owned runtime (workers + shared memory); idempotent.
+
+        An attached runtime (see :meth:`attach_runtime`) stays referenced
+        and open — its owner closes it.
+        """
+        self._closed = True
+        if self._owns_runtime and self._runtime is not None:
+            self._runtime.close()
+            self._runtime = None
+            self._owns_runtime = False
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def replace(self, **changes) -> "ExecutionContext":
+        """A fresh context with fields replaced (no runtime is inherited)."""
+        return replace(self, **changes)
+
+    def sequential(self) -> "ExecutionContext":
+        """A copy with no parallel runtime (``jobs=None``).
+
+        The experiment harness hands this to adaptive roster entries: they
+        parallelize at the realization level, so giving their inner pool
+        growth a runtime would change the sampling streams relative to the
+        in-process reference.
+        """
+        if self.jobs is None:
+            return self
+        return self.replace(jobs=None)
+
+    # ------------------------------------------------------------------
+    # RNG factory
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def generator(seed: RandomSource = None) -> np.random.Generator:
+        """Normalize ``seed`` into a :class:`numpy.random.Generator`."""
+        return as_generator(seed)
+
+    @staticmethod
+    def spawn_seed_sequences(
+        seed: RandomSource, count: int
+    ) -> List[np.random.SeedSequence]:
+        """``count`` independent child sequences rooted at ``seed``.
+
+        The picklable half of the factory: work units shipped to worker
+        processes carry these, so a unit's stream depends only on its
+        global index, never on worker count.
+        """
+        return spawn_seed_sequences(seed, count)
+
+    @staticmethod
+    def spawn_generators(
+        seed: RandomSource, count: int
+    ) -> List[np.random.Generator]:
+        """``count`` independent generators rooted at ``seed``."""
+        return spawn_generators(seed, count)
+
+    # ------------------------------------------------------------------
+    # Diagnostics sink
+    # ------------------------------------------------------------------
+
+    def record(self, **entries) -> None:
+        """Merge diagnostic entries into the aggregated sink."""
+        self.diagnostics.update(entries)
+
+    def tally(self, name: str, amount: Union[int, float] = 1) -> None:
+        """Accumulate a numeric counter in the diagnostics sink."""
+        self.diagnostics[name] = self.diagnostics.get(name, 0) + amount
+
+    def apply_storage(self, graph):
+        """Re-layout ``graph`` under this context's ``graph_storage`` policy.
+
+        A no-op when the graph already follows the policy (the default:
+        graphs are built adaptive).  ``run_sweep`` routes the sweep graph
+        through this, so ``graph_storage="wide"`` pins the int64/float64
+        reference layout end to end — derived residual graphs inherit the
+        policy from their parent.
+        """
+        if graph.storage == self.graph_storage:
+            return graph
+        return graph.with_storage(self.graph_storage)
+
+    def note_graph(self, graph, label: str = "graph") -> None:
+        """Record a graph's storage decision (dtype choices, byte size)."""
+        self.record(**{
+            f"{label}_storage": graph.storage,
+            f"{label}_index_dtype": str(graph.index_dtype),
+            f"{label}_prob_dtype": str(graph.prob_dtype),
+            f"{label}_csr_nbytes": graph.csr_nbytes,
+        })
+
+    # ------------------------------------------------------------------
+    # Pickling (work units ship contexts to worker processes)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        state = {f.name: getattr(self, f.name) for f in fields(self)}
+        return state
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        self._runtime = None
+        self._owns_runtime = False
+        self._closed = False
+
+
+def default_context() -> ExecutionContext:
+    """A context with every policy at its documented default."""
+    return ExecutionContext()
+
+
+def _warn_legacy(owner: str, names) -> None:
+    warnings.warn(
+        f"{owner}: passing {', '.join(sorted(names))} as per-knob keyword "
+        f"arguments is deprecated; build an ExecutionContext and pass "
+        f"context= instead (outputs are bit-identical)",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def resolve_context(
+    context: Optional[ExecutionContext],
+    owner: str,
+    runtime=UNSET,
+    **legacy,
+) -> Tuple[ExecutionContext, bool]:
+    """The deprecation shim shared by every public facade.
+
+    Returns ``(context, owns)``:
+
+    * explicit ``context`` — returned as-is, ``owns=False`` (the caller
+      that built it closes it); combining it with legacy per-knob kwargs
+      is a :class:`ConfigurationError` (ambiguous policy);
+    * no context — a fresh one is built from whichever legacy kwargs were
+      actually passed (each emits one :class:`DeprecationWarning`),
+      ``owns=True`` so the facade's ``close`` tears it down.  A legacy
+      ``runtime=`` object is attached without transferring ownership.
+    """
+    passed = {k: v for k, v in legacy.items() if v is not UNSET}
+    has_runtime = runtime is not UNSET
+    if context is not None:
+        if passed or has_runtime:
+            clash = sorted(passed) + (["runtime"] if has_runtime else [])
+            raise ConfigurationError(
+                f"{owner}: pass either context= or the legacy knobs "
+                f"{clash}, not both"
+            )
+        return context, False
+    if passed or has_runtime:
+        _warn_legacy(
+            owner, sorted(passed) + (["runtime"] if has_runtime else [])
+        )
+    built = ExecutionContext(**passed)
+    if has_runtime and runtime is not None:
+        built.attach_runtime(runtime)
+    return built, True

@@ -22,7 +22,7 @@ from typing import Iterator, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, SamplingError
-from repro.graph.digraph import gather_csr_rows
+from repro.graph.digraph import csr_index_dtype, gather_csr_rows
 
 _INITIAL_MEMBER_CAPACITY = 1024
 _INITIAL_SET_CAPACITY = 256
@@ -74,7 +74,13 @@ class CoverageIndex:
         if n < 1:
             raise ConfigurationError(f"need n >= 1, got {n}")
         self.n = int(n)
-        self._members = np.empty(_INITIAL_MEMBER_CAPACITY, dtype=np.int64)
+        # Members are node ids < n, so the packed pool stores them at the
+        # graph's adaptive index width (int32 in practice) — pools are the
+        # dominant memory consumer of a TRIM round, and halving the flat
+        # members vector halves it.  The indptr tracks cumulative pool
+        # size, which can exceed int32 on huge pools, so it stays int64.
+        self._member_dtype = csr_index_dtype(self.n, 0)
+        self._members = np.empty(_INITIAL_MEMBER_CAPACITY, dtype=self._member_dtype)
         self._indptr = np.zeros(_INITIAL_SET_CAPACITY + 1, dtype=np.int64)
         self._num_sets = 0
         self._counts = np.zeros(n, dtype=np.int64)
@@ -106,7 +112,14 @@ class CoverageIndex:
         coverage index the round before, and the duplicate check's full
         sort is pure overhead there.
         """
-        members = np.asarray(members, dtype=np.int64)
+        # Keep the incoming integer dtype: parallel sample chunks already
+        # arrive at the compact member width, and forcing int64 here would
+        # add a transient 2x copy per chunk on the pool-growth hot path.
+        # Validation below promotes to int64 where the arithmetic needs it;
+        # the packed-store assignment downcasts values already checked < n.
+        members = np.asarray(members)
+        if members.dtype.kind != "i":
+            members = members.astype(np.int64)
         indptr = np.asarray(indptr, dtype=np.int64)
         if len(indptr) < 2 or indptr[0] != 0 or indptr[-1] != len(members):
             raise SamplingError(

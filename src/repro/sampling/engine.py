@@ -39,6 +39,7 @@ from repro.utils.rng import RandomSource, as_generator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (mrr imports engine)
     from repro.parallel.runtime import ParallelRuntime
+    from repro.runtime.context import ExecutionContext
     from repro.sampling.mrr import RootCountRule
 
 #: Default number of reverse samples generated per engine call.  Large
@@ -187,6 +188,12 @@ class BatchSampler:
         ``jobs=1`` runtime runs the same chunks in-process — but differs
         from the default single-stream path, which remains the reference
         when ``runtime`` is ``None``.
+    context:
+        Optional :class:`~repro.runtime.context.ExecutionContext` supplying
+        the defaults for ``batch_size`` (``context.sample_batch_size``) and
+        ``runtime`` (``context.runtime``).  Explicit ``batch_size`` /
+        ``runtime`` arguments override the context — this is the low-level
+        escape hatch, so no deprecation applies here.
     """
 
     def __init__(
@@ -195,11 +202,19 @@ class BatchSampler:
         model: DiffusionModel,
         roots: RootDrawer,
         seed: RandomSource = None,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size: Optional[int] = None,
         runtime: "Optional[ParallelRuntime]" = None,
+        context: "Optional[ExecutionContext]" = None,
     ):
         if graph.n < 1:
             raise SamplingError("cannot sample reverse sets on an empty graph")
+        if batch_size is None:
+            batch_size = (
+                context.sample_batch_size if context is not None
+                else DEFAULT_BATCH_SIZE
+            )
+        if runtime is None and context is not None:
+            runtime = context.runtime
         if batch_size < 1:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {batch_size}"
@@ -348,12 +363,14 @@ def rr_batch_sampler(
     graph: DiGraph,
     model: DiffusionModel,
     seed: RandomSource = None,
-    batch_size: int = DEFAULT_BATCH_SIZE,
+    batch_size: Optional[int] = None,
     runtime: "Optional[ParallelRuntime]" = None,
+    context: "Optional[ExecutionContext]" = None,
 ) -> BatchSampler:
     """Engine for single-root RR pools."""
     return BatchSampler(
-        graph, model, UniformRootDrawer(graph.n), seed, batch_size, runtime
+        graph, model, UniformRootDrawer(graph.n), seed, batch_size, runtime,
+        context,
     )
 
 
@@ -362,10 +379,12 @@ def mrr_batch_sampler(
     model: DiffusionModel,
     rule: RootCountRule,
     seed: RandomSource = None,
-    batch_size: int = DEFAULT_BATCH_SIZE,
+    batch_size: Optional[int] = None,
     runtime: "Optional[ParallelRuntime]" = None,
+    context: "Optional[ExecutionContext]" = None,
 ) -> BatchSampler:
     """Engine for multi-root mRR pools under a root-count rule."""
     return BatchSampler(
-        graph, model, RandomizedRoundingRootDrawer(rule), seed, batch_size, runtime
+        graph, model, RandomizedRoundingRootDrawer(rule), seed, batch_size,
+        runtime, context,
     )

@@ -30,7 +30,7 @@ from repro.errors import ConfigurationError, SamplingError
 from repro.graph.digraph import DiGraph
 from repro.graph.residual import ResidualGraph
 from repro.sampling.coverage import CoverageIndex
-from repro.sampling.engine import DEFAULT_BATCH_SIZE, mrr_batch_sampler
+from repro.sampling.engine import mrr_batch_sampler
 from repro.utils.rng import RandomSource, as_generator
 
 
@@ -174,13 +174,14 @@ class MRRCollection:
         eta: int,
         seed: RandomSource = None,
         rule: RootCountRule = None,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size: Optional[int] = None,
         runtime=None,
+        context=None,
     ):
         rng = as_generator(seed)
         self.sampler = MRRSampler(graph, model, eta, rng, rule)
         self.engine = mrr_batch_sampler(
-            graph, model, self.sampler.rule, rng, batch_size, runtime
+            graph, model, self.sampler.rule, rng, batch_size, runtime, context
         )
         self.index = CoverageIndex(graph.n)
         self._root_counts = np.empty(0, dtype=np.int64)
@@ -380,9 +381,10 @@ def build_round_pool(
     residual: ResidualGraph,
     model: DiffusionModel,
     rng: np.random.Generator,
-    batch_size: int = DEFAULT_BATCH_SIZE,
+    batch_size: Optional[int] = None,
     carry: Optional[CarriedMRRPool] = None,
     runtime=None,
+    context=None,
 ) -> Tuple[MRRCollection, CarryDiagnostics]:
     """One round's mRR pool, optionally pre-loaded from the previous round.
 
@@ -390,6 +392,7 @@ def build_round_pool(
     the :class:`MRRCollection` for ``(residual.graph, residual.shortfall)``,
     and when a :class:`CarriedMRRPool` is offered, adopt every set that
     survives :meth:`CarriedMRRPool.revalidate` before any fresh sampling.
+    ``context`` supplies the ``batch_size`` / ``runtime`` defaults.
     """
     pool = MRRCollection(
         residual.graph,
@@ -398,12 +401,18 @@ def build_round_pool(
         seed=rng,
         batch_size=batch_size,
         runtime=runtime,
+        context=context,
     )
+    if context is not None:
+        context.tally("mrr_pools_built")
     if carry is None:
         return pool, CarryDiagnostics(0, 0, 0, 0)
     kept, diagnostics = carry.revalidate(residual)
     if kept is not None:
         pool.adopt(*kept)
+    if context is not None:
+        context.tally("mrr_sets_carried", diagnostics.sets_carried)
+        context.tally("mrr_sets_dropped", diagnostics.sets_offered - diagnostics.sets_carried)
     return pool, diagnostics
 
 
@@ -415,27 +424,33 @@ def estimate_truncated_spread_mrr(
     theta: int = 2000,
     seed: RandomSource = None,
     rule: RootCountRule = None,
-    batch_size: int = DEFAULT_BATCH_SIZE,
+    batch_size: Optional[int] = None,
     jobs: Optional[int] = None,
+    context=None,
 ) -> float:
     """One-shot convenience: generate ``theta`` mRR sets and estimate.
 
     Used by tests, examples, and the rounding ablation; production code
     should reuse an :class:`MRRCollection` across queries instead.
 
-    ``jobs`` switches pool generation to the chunk-seeded parallel scheme
-    (``None`` keeps the historical in-process stream; any ``jobs >= 1``
-    yields the same estimate for every worker count).
+    ``context`` supplies the batching/parallelism policy; alternatively the
+    legacy ``jobs`` knob switches pool generation to the chunk-seeded
+    parallel scheme (``None`` keeps the historical in-process stream; any
+    ``jobs >= 1`` yields the same estimate for every worker count).
     """
-    from repro.parallel.runtime import maybe_runtime
+    from repro.runtime.context import UNSET, resolve_context
 
-    runtime = maybe_runtime(jobs)
+    context, owns = resolve_context(
+        context,
+        "estimate_truncated_spread_mrr",
+        jobs=UNSET if jobs is None else jobs,
+    )
     try:
         collection = MRRCollection(
-            graph, model, eta, seed, rule, batch_size, runtime=runtime
+            graph, model, eta, seed, rule, batch_size, context=context
         )
         collection.grow_to(theta)
         return collection.estimated_truncated_spread(seeds)
     finally:
-        if runtime is not None:
-            runtime.close()
+        if owns:
+            context.close()

@@ -12,7 +12,7 @@ implementation here.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -20,7 +20,7 @@ from repro.diffusion.base import DiffusionModel
 from repro.errors import SamplingError
 from repro.graph.digraph import DiGraph
 from repro.sampling.coverage import CoverageIndex
-from repro.sampling.engine import DEFAULT_BATCH_SIZE, rr_batch_sampler
+from repro.sampling.engine import rr_batch_sampler
 from repro.utils.rng import RandomSource, as_generator
 
 
@@ -63,12 +63,15 @@ class RRCollection:
         graph: DiGraph,
         model: DiffusionModel,
         seed: RandomSource = None,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size: Optional[int] = None,
         runtime=None,
+        context=None,
     ):
         rng = as_generator(seed)
         self.sampler = RRSampler(graph, model, rng)
-        self.engine = rr_batch_sampler(graph, model, rng, batch_size, runtime)
+        self.engine = rr_batch_sampler(
+            graph, model, rng, batch_size, runtime, context
+        )
         self.index = CoverageIndex(graph.n)
 
     @property

@@ -10,7 +10,7 @@ NumPy's recommended ``SeedSequence.spawn`` pattern.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

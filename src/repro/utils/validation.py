@@ -42,6 +42,34 @@ def check_fraction(value: float, name: str) -> float:
     return value
 
 
+def check_optional_positive_int(value: Optional[int], name: str) -> Optional[int]:
+    """Validate an optional integer knob: ``None`` passes, else ``>= 1``.
+
+    The shared validator behind every engine-policy knob that may be left
+    unset (``mc_batch_size``, ``jobs``, ``max_samples``): the CLI, the
+    experiment config, and the execution context all funnel through here so
+    a bad value produces the same message no matter which layer catches it.
+    """
+    if value is None:
+        return None
+    return check_positive_int(value, name)
+
+
+def check_jobs(value: Optional[int], name: str = "jobs") -> Optional[int]:
+    """Validate a worker-count knob (``None`` = no parallel runtime)."""
+    return check_optional_positive_int(value, name)
+
+
+def check_positive_float(value: Optional[float], name: str) -> Optional[float]:
+    """Validate an optional strictly positive float (tolerances)."""
+    if value is None:
+        return None
+    value = float(value)
+    if not value > 0.0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    return value
+
+
 def check_range(
     value: int,
     name: str,

@@ -22,7 +22,7 @@ from repro.errors import (
     SamplingError,
 )
 from repro.graph import generators
-from repro.graph.residual import ResidualGraph, initial_residual
+from repro.graph.residual import ResidualGraph
 
 
 @pytest.fixture

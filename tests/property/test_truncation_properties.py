@@ -3,7 +3,6 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.diffusion.ic import IndependentCascade
 from repro.diffusion.realization import ICRealization
 from repro.graph.digraph import DiGraph
 

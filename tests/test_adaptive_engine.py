@@ -17,7 +17,6 @@ from repro.core.policy import FirstNodeSelector
 from repro.core.session import AdaptiveSession
 from repro.core.trim import TrimSelector
 from repro.core.trim_b import TrimBSelector
-from repro.diffusion.ic import IndependentCascade
 from repro.diffusion.realization import ICRealization
 from repro.errors import ConfigurationError
 from repro.graph import generators, weighting

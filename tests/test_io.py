@@ -35,6 +35,27 @@ class TestTextRoundTrip:
         buffer.seek(0)
         assert read_edge_list(buffer) == weighted_graph
 
+    def test_gzip_round_trip(self, weighted_graph, tmp_path):
+        """SNAP dumps ship gzipped; a .gz path is handled transparently."""
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(weighted_graph, path)
+        # Really gzip on disk, not plain text with a misleading name.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert read_edge_list(path) == weighted_graph
+
+    def test_gzip_reads_foreign_dump(self, tmp_path):
+        """A gzipped edge list written by another tool parses the same."""
+        import gzip
+
+        path = tmp_path / "snap.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("# comment\n0 1 0.5\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.n == 3
+        assert graph.m == 2
+        assert graph.edge_probability(0, 1) == 0.5
+        assert graph.edge_probability(1, 2) == 1.0
+
     def test_header_carries_node_count(self, tmp_path):
         # A trailing isolated node survives because of the header.
         g = generators.path_graph(3)

@@ -119,10 +119,13 @@ class TestTheorem33:
         eta = 3
         truth = exact_expected_truncated_spread(g, ic_model, [0], eta)
         assert truth == pytest.approx(3.0)
-        biased = estimate_truncated_spread_mrr(
+        hub_biased = estimate_truncated_spread_mrr(
             g, ic_model, [0], eta, theta=6000, seed=3,
             rule=RootCountRule.fixed(1, 12),
         )
+        # Hub seed: every single-root RR set of the certain star contains
+        # the hub, so even the naive estimator is exact here.
+        assert hub_biased == pytest.approx(3.0)
         # Naive RR estimate = eta * Pr[hub in R] = eta * 1 = 3?  No: with a
         # single uniform root the hub is always in R (certain star), so this
         # particular graph hits.  Use a leaf seed to expose the bias:

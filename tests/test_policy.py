@@ -1,6 +1,5 @@
 """Unit tests for the selector abstractions."""
 
-import numpy as np
 import pytest
 
 from repro.core.policy import (

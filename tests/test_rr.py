@@ -1,6 +1,5 @@
 """Unit tests for single-root RR sets."""
 
-import numpy as np
 import pytest
 
 from repro.diffusion.exact import exact_expected_spread
