@@ -140,6 +140,22 @@ def measure(profile: dict, seed: int = 0) -> dict:
         stress_cases[f"{model.name}/hub"] = _measure_spread_case(
             graph, model, [hub], profile["stress_samples"], mc_batch_size, seed
         )
+    # The LT weak spot (recorded ~0.85x): a hub seed on a *high-skew*
+    # heavy-tailed graph, where the batch's widest levels are dominated by
+    # the hub's huge in-neighborhoods and the scalar loop is already
+    # frontier-vectorized.  Tracked separately so the trajectory shows
+    # whether kernel work moves it; tests/test_forward_engine.py pins its
+    # batch-vs-loop equivalence.
+    skewed = weighting.weighted_cascade(
+        generators.preferential_attachment(
+            profile["graph_n"], 8, seed=seed + 1, directed=False
+        )
+    )
+    skew_hub = int(skewed.out_degrees().argmax())
+    stress_cases["LT/hub-skew"] = _measure_spread_case(
+        skewed, LinearThreshold(), [skew_hub], profile["stress_samples"],
+        mc_batch_size, seed,
+    )
     cases["IC/celf"] = _measure_celf_case(
         graph, IndependentCascade(), profile["celf_k"],
         profile["celf_samples"], seed,

@@ -1,20 +1,27 @@
 """Sweep every engine knob through one ExecutionContext.
 
 Before the unified context, tuning the batched engines meant threading
-three separate knob paths — ``sample_batch_size`` into the reverse
-sampler, ``jobs`` into the parallel runtime, ``reuse_pool`` into the
-adaptive carry-over — through every constructor between you and the
-engine.  Now each trial is one :class:`repro.ExecutionContext`::
+separate knob paths — ``sample_batch_size`` into the reverse sampler,
+``jobs`` into the parallel runtime, ``reuse_pool`` into the adaptive
+carry-over, and now ``kernel_backend`` into the labeled-BFS hot loops —
+through every constructor between you and the engine.  Now each trial is
+one :class:`repro.ExecutionContext`::
 
-    context = ExecutionContext(sample_batch_size=512, jobs=2, reuse_pool=True)
+    context = ExecutionContext(sample_batch_size=512, jobs=2,
+                               kernel_backend="auto")
     ASTI(model, context=context).run(graph, eta, seed=0)
 
-This example runs a small grid over all three knobs on one graph and
+This example runs a small grid over all four knobs on one graph and
 prints seconds per run, demonstrating that (a) every configuration goes
 through the single ``context=`` argument and (b) the chosen seed sets
-agree across ``jobs`` values (worker-count invariance) and across
+agree across ``jobs`` values (worker-count invariance), across
 ``reuse_pool`` (which only changes *how much* sampling is paid, not the
-policy's information).
+policy's information), and across ``kernel_backend`` (the backends are
+bit-identical by construction).
+
+The kernel grid includes ``"numba"`` only where the optional extra is
+installed; the interpreted ``"python"`` backend is deliberately excluded
+(it exists for equivalence tests, not for 1500-node runs).
 
 Run:
     PYTHONPATH=src python examples/context_tuning.py
@@ -26,6 +33,7 @@ import time
 
 from repro import ASTI, ExecutionContext, IndependentCascade
 from repro.graph import generators, weighting
+from repro.kernels import numba_available
 
 GRAPH_N = 1500
 ETA_FRACTION = 0.1
@@ -34,6 +42,7 @@ SEED = 7
 SAMPLE_BATCH_SIZES = (64, 256, 1024)
 JOBS = (None, 1, 2)          # None = historical single-stream route
 REUSE_POOL = (True, False)
+KERNEL_BACKENDS = ("auto", "numpy") + (("numba",) if numba_available() else ())
 
 
 def build_graph():
@@ -58,36 +67,55 @@ def main() -> int:
     print(
         f"graph: n={graph.n} m={graph.m} "
         f"(storage {graph.index_dtype}/{graph.prob_dtype}, "
-        f"{graph.csr_nbytes} CSR bytes) | eta={eta}"
+        f"{graph.csr_nbytes} CSR bytes) | eta={eta} | "
+        f"kernel grid {KERNEL_BACKENDS}"
     )
-    print(f"{'batch':>6} {'jobs':>5} {'reuse':>6} {'seeds':>6} {'samples':>9} {'seconds':>8}")
+    print(
+        f"{'batch':>6} {'jobs':>5} {'reuse':>6} {'kernel':>7} "
+        f"{'seeds':>6} {'samples':>9} {'seconds':>8}"
+    )
 
-    baseline_seeds = {}
+    worker_baseline = {}
+    backend_baseline = {}
     for sample_batch_size in SAMPLE_BATCH_SIZES:
         for jobs in JOBS:
             for reuse_pool in REUSE_POOL:
-                with ExecutionContext(
-                    sample_batch_size=sample_batch_size,
-                    jobs=jobs,
-                    reuse_pool=reuse_pool,
-                ) as context:
-                    result, seconds = run_trial(graph, eta, context)
-                print(
-                    f"{sample_batch_size:>6} {str(jobs):>5} {str(reuse_pool):>6} "
-                    f"{result.seed_count:>6} {result.total_samples:>9} "
-                    f"{seconds:>8.2f}"
-                )
-                # Worker-count invariance: for a fixed batch size and
-                # reuse policy, every explicit jobs value must select the
-                # exact same seeds (jobs=None uses a different — also
-                # deterministic — historical stream).
-                if jobs is not None:
-                    key = (sample_batch_size, reuse_pool)
-                    baseline_seeds.setdefault(key, result.seeds)
-                    assert result.seeds == baseline_seeds[key], (
-                        f"worker-count invariance violated at {key}"
+                for kernel_backend in KERNEL_BACKENDS:
+                    with ExecutionContext(
+                        sample_batch_size=sample_batch_size,
+                        jobs=jobs,
+                        reuse_pool=reuse_pool,
+                        kernel_backend=kernel_backend,
+                    ) as context:
+                        result, seconds = run_trial(graph, eta, context)
+                    print(
+                        f"{sample_batch_size:>6} {str(jobs):>5} "
+                        f"{str(reuse_pool):>6} {kernel_backend:>7} "
+                        f"{result.seed_count:>6} {result.total_samples:>9} "
+                        f"{seconds:>8.2f}"
                     )
-    print("\nall explicit-jobs configurations selected identical seed sets")
+                    # Backend invariance: for a fixed (batch, jobs, reuse)
+                    # cell, every kernel backend must select the exact
+                    # same seeds — the backends are bit-identical.
+                    cell = (sample_batch_size, jobs, reuse_pool)
+                    backend_baseline.setdefault(cell, result.seeds)
+                    assert result.seeds == backend_baseline[cell], (
+                        f"kernel-backend invariance violated at {cell}"
+                    )
+                    # Worker-count invariance: for a fixed batch size,
+                    # reuse policy, and backend, every explicit jobs value
+                    # must select the exact same seeds (jobs=None uses a
+                    # different — also deterministic — historical stream).
+                    if jobs is not None:
+                        key = (sample_batch_size, reuse_pool, kernel_backend)
+                        worker_baseline.setdefault(key, result.seeds)
+                        assert result.seeds == worker_baseline[key], (
+                            f"worker-count invariance violated at {key}"
+                        )
+    print(
+        "\nall configurations selected identical seed sets across backends"
+        " and explicit jobs values"
+    )
     return 0
 
 

@@ -31,6 +31,7 @@ from repro.experiments.harness import run_sweep
 from repro.experiments.report import format_series, format_table
 from repro.graph import analysis
 from repro.graph.io import read_edge_list
+from repro.kernels import KERNEL_BACKENDS
 from repro.runtime.context import ExecutionContext
 from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.sampling.mrr import estimate_truncated_spread_mrr
@@ -75,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
         "historical single-stream path; any explicit value gives results "
         "that are identical for every worker count)",
     )
+    _add_kernel_argument(solve)
     solve.add_argument("--epsilon", type=float, default=0.5)
     solve.add_argument("--max-samples", type=int, default=None)
     solve.add_argument("--seed", type=int, default=0)
@@ -130,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes sharing the sweep's realizations (results "
         "are identical for any value; 1 = in-process)",
     )
+    _add_kernel_argument(sweep)
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--out-csv", default=None, help="write per-run rows")
     sweep.add_argument("--out-json", default=None, help="write aggregate summary")
@@ -166,8 +169,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for mRR pool generation (omit for the "
         "historical single-stream path)",
     )
+    _add_kernel_argument(estimate)
     estimate.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _add_kernel_argument(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--kernel-backend",
+        choices=KERNEL_BACKENDS,
+        default="auto",
+        help="per-level labeled-BFS kernels: 'auto' uses the compiled "
+        "backend when numba is installed and the graph is large enough, "
+        "'numba' requires it, 'numpy' pins the vectorized reference "
+        "(outputs are bit-identical across backends)",
+    )
 
 
 def _add_graph_arguments(sub: argparse.ArgumentParser) -> None:
@@ -203,6 +219,7 @@ def _context_from_args(args) -> ExecutionContext:
         mc_tolerance=getattr(args, "mc_tolerance", None),
         reuse_pool=getattr(args, "reuse_pool", True),
         jobs=getattr(args, "jobs", None),
+        kernel_backend=getattr(args, "kernel_backend", "auto"),
     )
 
 
@@ -300,6 +317,7 @@ def _cmd_sweep(args, out) -> int:
         mc_tolerance=args.mc_tolerance,
         reuse_pool=args.reuse_pool,
         jobs=args.jobs,
+        kernel_backend=args.kernel_backend,
         seed=args.seed,
     )
     sweep = run_sweep(config)

@@ -94,6 +94,7 @@ def run_adaptive_policy(
     realization: Optional[Realization] = None,
     seed: RandomSource = None,
     max_rounds: Optional[int] = None,
+    kernel: str = "auto",
 ) -> AdaptiveRunResult:
     """Run the select-observe loop to completion (Algorithm 1).
 
@@ -113,6 +114,9 @@ def run_adaptive_policy(
     max_rounds:
         Safety valve for tests; ``None`` allows up to ``eta`` rounds, which
         is the true worst case (every round activates >= 1 node).
+    kernel:
+        Per-level BFS backend for the reveal sweeps (see
+        :mod:`repro.kernels`); runs are bit-identical across backends.
     """
     check_positive_int(eta, "eta")
     if eta > graph.n:
@@ -121,7 +125,8 @@ def run_adaptive_policy(
     if realization is None:
         realization = model.sample_realization(graph, rng)
     return run_adaptive_policy_batch(
-        graph, eta, model, selector, [realization], seeds=[rng], max_rounds=max_rounds
+        graph, eta, model, selector, [realization], seeds=[rng],
+        max_rounds=max_rounds, kernel=kernel,
     )[0]
 
 
@@ -133,6 +138,7 @@ def run_adaptive_policy_batch(
     realizations: Sequence[Realization],
     seeds: Union[RandomSource, Sequence[RandomSource]] = None,
     max_rounds: Optional[int] = None,
+    kernel: str = "auto",
 ) -> List[AdaptiveRunResult]:
     """Run Algorithm 1 on many ground-truth worlds round-synchronously.
 
@@ -175,7 +181,7 @@ def run_adaptive_policy_batch(
             )
         rngs = [as_generator(s) for s in sources]
 
-    batch = AdaptiveSessionBatch(graph, eta, realizations)
+    batch = AdaptiveSessionBatch(graph, eta, realizations, kernel=kernel)
     limit = max_rounds if max_rounds is not None else eta
     rounds: List[List[RoundRecord]] = [[] for _ in realizations]
     carries: List[Optional[CarriedMRRPool]] = [None for _ in realizations]
@@ -336,7 +342,8 @@ class ASTI:
     ) -> AdaptiveRunResult:
         """Solve one ASM instance; see :func:`run_adaptive_policy`."""
         result = run_adaptive_policy(
-            graph, eta, self.model, self.selector, realization, seed, max_rounds
+            graph, eta, self.model, self.selector, realization, seed,
+            max_rounds, kernel=self.context.kernel_backend,
         )
         return self._renamed(result)
 
@@ -356,7 +363,8 @@ class ASTI:
         pool carry-over in a single call.
         """
         results = run_adaptive_policy_batch(
-            graph, eta, self.model, self.selector, realizations, seeds, max_rounds
+            graph, eta, self.model, self.selector, realizations, seeds,
+            max_rounds, kernel=self.context.kernel_backend,
         )
         return [self._renamed(result) for result in results]
 

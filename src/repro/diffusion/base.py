@@ -113,6 +113,7 @@ class DiffusionModel(abc.ABC):
         roots_indptr: np.ndarray,
         rng: np.random.Generator,
         scratch: np.ndarray = None,
+        kernel: str = "auto",
     ) -> "tuple[np.ndarray, np.ndarray]":
         """Generate a whole batch of reverse samples in one call.
 
@@ -133,6 +134,10 @@ class DiffusionModel(abc.ABC):
             ``batch * graph.n``; restored to all False before returning
             (see :func:`run_labeled_reverse_bfs`).  ``None`` allocates a
             fresh bitset.
+        kernel:
+            ``repro.kernels`` backend knob (``"auto"``, ``"numpy"``,
+            ``"numba"``, ``"python"``); outputs are bit-identical across
+            backends.  The scalar-loop base implementation ignores it.
 
         Returns
         -------
@@ -194,6 +199,7 @@ class DiffusionModel(abc.ABC):
         n_sims: int,
         seed: RandomSource = None,
         scratch: np.ndarray = None,
+        kernel: str = "auto",
     ) -> "tuple[np.ndarray, np.ndarray]":
         """Sample ``n_sims`` independent cascades from one seed set.
 
@@ -217,6 +223,10 @@ class DiffusionModel(abc.ABC):
             Optional pooled all-False boolean buffer of length at least
             ``n_sims * graph.n``; restored to all False before returning.
             ``None`` allocates a fresh bitset.
+        kernel:
+            ``repro.kernels`` backend knob (``"auto"``, ``"numpy"``,
+            ``"numba"``, ``"python"``); outputs are bit-identical across
+            backends.  The scalar-loop base implementation ignores it.
 
         Returns
         -------
@@ -272,8 +282,9 @@ def run_labeled_bfs(
     n: int,
     starts: np.ndarray,
     starts_indptr: np.ndarray,
-    propose,
+    propose=None,
     scratch: np.ndarray = None,
+    expand=None,
 ) -> "tuple[np.ndarray, np.ndarray]":
     """Shared driver of the vectorized multi-sample labeled BFS.
 
@@ -290,6 +301,15 @@ def run_labeled_bfs(
     against per-``(sample, node)`` thresholds), which is exactly what the
     callback encapsulates.
 
+    ``expand(visited, frontier_sids, frontier_nodes)`` is the fused
+    alternative to ``propose`` used by the compiled kernel backends
+    (:mod:`repro.kernels`): it applies the per-level rule, filters, dedups,
+    marks ``visited`` in place, and returns the level's fresh keys
+    **sorted ascending** — exactly the keys (in exactly the order) the
+    ``propose`` route's filter/``np.unique``/mark sequence produces, so
+    both routes yield bit-identical results.  Exactly one of ``propose``
+    and ``expand`` must be given.
+
     ``scratch`` is an optional caller-pooled boolean buffer of length at
     least ``batch * n`` that is all False on entry; it is restored to all
     False before returning (only the visited keys are touched — the
@@ -297,6 +317,10 @@ def run_labeled_bfs(
     ``out``), so repeated engine calls on large graphs avoid allocating
     and zeroing a fresh bitset each time.
     """
+    if (propose is None) == (expand is None):
+        raise ConfigurationError(
+            "run_labeled_bfs needs exactly one of propose= or expand="
+        )
     starts = np.asarray(starts, dtype=np.int64)
     starts_indptr = np.asarray(starts_indptr, dtype=np.int64)
     batch = len(starts_indptr) - 1
@@ -309,13 +333,18 @@ def run_labeled_bfs(
     collected_nodes = [starts]
     frontier_sids, frontier_nodes = start_sids, starts
     while len(frontier_nodes):
-        keys = propose(frontier_sids, frontier_nodes)
-        if len(keys):
-            keys = keys[~visited[keys]]  # filter first: unique sorts the rest
-        if len(keys) == 0:
-            break
-        keys = np.unique(keys)  # dedup within the level
-        visited[keys] = True
+        if expand is not None:
+            keys = expand(visited, frontier_sids, frontier_nodes)
+            if len(keys) == 0:
+                break
+        else:
+            keys = propose(frontier_sids, frontier_nodes)
+            if len(keys):
+                keys = keys[~visited[keys]]  # filter first: unique sorts the rest
+            if len(keys) == 0:
+                break
+            keys = np.unique(keys)  # dedup within the level
+            visited[keys] = True
         frontier_sids, frontier_nodes = np.divmod(keys, n)
         collected_sids.append(frontier_sids)
         collected_nodes.append(frontier_nodes)

@@ -21,6 +21,7 @@ from repro.diffusion.ic import IndependentCascade
 from repro.diffusion.lt import LinearThreshold
 from repro.errors import ConfigurationError
 from repro.experiments import datasets
+from repro.kernels import KERNEL_BACKENDS
 from repro.runtime.context import GRAPH_STORAGE_POLICIES, ExecutionContext
 from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.utils.validation import (
@@ -61,6 +62,9 @@ class ExperimentConfig:
                                                  # (1 = in-process; results are
                                                  # identical for any value)
     graph_storage: str = "adaptive"              # CSR layout: "adaptive"|"wide"
+    kernel_backend: str = "auto"                 # labeled-BFS backend
+                                                 # ("auto"|"numpy"|"numba"|
+                                                 # "python"); bit-identical
     seed: int = 0
     label: str = field(default="")
 
@@ -82,6 +86,11 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"graph_storage must be one of {GRAPH_STORAGE_POLICIES}, "
                 f"got {self.graph_storage!r}"
+            )
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ConfigurationError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, "
+                f"got {self.kernel_backend!r}"
             )
         check_fraction(self.epsilon, "epsilon")
         for fraction in self.eta_fractions:
@@ -116,6 +125,7 @@ class ExperimentConfig:
             jobs=self.jobs,
             max_samples=self.max_samples,
             graph_storage=self.graph_storage,
+            kernel_backend=self.kernel_backend,
         )
 
     def build_graph(self):

@@ -381,4 +381,8 @@ def run_sweep(config: ExperimentConfig) -> SweepResult:
                 seed=config.seed,
                 context=context,
             )
+        # Snapshot the kernel decisions (backend resolutions, per-driver
+        # call counts, JIT time) after the last eta point so the sweep's
+        # diagnostics describe the whole run, next to note_graph above.
+        context.note_kernels()
     return SweepResult(config=config, eta_values=eta_values, outcomes=outcomes)

@@ -1,0 +1,138 @@
+"""Expander factories bridging kernel backends into the BFS driver.
+
+The labeled-BFS driver's ``expand`` mode hands the kernel the visitation
+bitset and the current frontier and expects back the sorted fresh keys
+(already marked).  Each factory below closes over one engine call's fixed
+state — the CSR arrays, the caller's RNG, flat world/allowed arrays — and
+returns that ``expand(visited, fsids, fnodes)`` callable for a resolved
+non-numpy backend.
+
+Randomness discipline: a factory draws exactly the uniforms the numpy
+closure would draw for the level, with the same single vectorized
+``rng.random(k)`` call, *before* invoking the kernel.  The kernel consumes
+them in the same element order the vectorized comparison would, which is
+what makes backends interchangeable bit for bit.
+
+Every kernel invocation is timed and tallied into
+:data:`repro.kernels.KERNEL_STATS`; for numba dispatchers, a call that grew
+the dispatcher's compiled-signature set is attributed as JIT compile time
+(the per-dtype lazy compilation of the adaptive CSR storage shows up here).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.kernels import KernelBackend, note_call
+
+
+def _timed(driver: str, fn, *args):
+    signatures = getattr(fn, "signatures", None)
+    before = len(signatures) if signatures is not None else 0
+    start = time.perf_counter()
+    result = fn(*args)
+    elapsed = time.perf_counter() - start
+    after = len(signatures) if signatures is not None else 0
+    note_call(driver, elapsed, after > before)
+    return result
+
+
+_EMPTY_ALLOWED = np.empty(0, dtype=bool)
+
+
+def ic_coin_expander(
+    backend: KernelBackend, driver: str, indptr, neighbors, probs, n, rng
+):
+    """IC coin-flip expander: forward over out-CSR, reverse over in-CSR."""
+    fn = backend.kernels.ic_flip_level
+
+    def expand(visited, fsids, fnodes):
+        degrees = indptr[fnodes + 1] - indptr[fnodes]
+        draws = rng.random(int(degrees.sum()))
+        return _timed(
+            driver, fn, indptr, neighbors, probs, n, visited, fsids, fnodes, draws
+        )
+
+    return expand
+
+
+def lt_walk_expander(backend: KernelBackend, indptr, sources, cum, n, rng):
+    """Reverse-LT expander: one keep-at-most-one-in-edge walk step."""
+    fn = backend.kernels.lt_walk_level
+
+    def expand(visited, fsids, fnodes):
+        draws = rng.random(len(fnodes))
+        return _timed(
+            "lt_reverse", fn, indptr, sources, cum, n, visited, fsids, fnodes, draws
+        )
+
+    return expand
+
+
+def lt_forward_expander(
+    backend: KernelBackend,
+    indptr,
+    targets,
+    probs,
+    n,
+    rng,
+    thresholds,
+    accumulated,
+    touched_before,
+):
+    """Forward-LT expander: first-touch bookkeeping, then threshold scan.
+
+    Phase 1 (``lt_touch_level``) returns the level's fresh keys sorted
+    ascending so the lazy threshold draw here consumes the stream in the
+    exact order the numpy closure's ``np.unique``-sorted ``fresh`` does;
+    phase 2 (``lt_cross_level``) accumulates and collects the crossers.
+    """
+    touch = backend.kernels.lt_touch_level
+    cross = backend.kernels.lt_cross_level
+
+    def expand(visited, fsids, fnodes):
+        fresh = _timed(
+            "lt_forward", touch, indptr, targets, n, touched_before,
+            accumulated, fsids, fnodes,
+        )
+        thresholds[fresh] = rng.random(len(fresh))
+        return _timed(
+            "lt_forward", cross, indptr, targets, probs, n, accumulated,
+            thresholds, visited, fsids, fnodes,
+        )
+
+    return expand
+
+
+def replay_expander(
+    backend: KernelBackend, kind: str, indptr, targets, worlds_flat, world,
+    m, n, allowed_flat=None,
+):
+    """Deterministic replay expander over pre-sampled worlds (IC or LT).
+
+    Shared by ``batch_reachable_from`` (``world`` is the identity mapping,
+    ``allowed_flat`` the flat residual mask) and the CRN sweeps (``world``
+    maps jobs to world indices, no mask).
+    """
+    allowed = _EMPTY_ALLOWED if allowed_flat is None else allowed_flat
+    if kind == "ic":
+        fn = backend.kernels.replay_ic_level
+
+        def expand(visited, fsids, fnodes):
+            return _timed(
+                "replay_ic", fn, indptr, targets, worlds_flat, world, m, n,
+                allowed, visited, fsids, fnodes,
+            )
+
+    else:
+        fn = backend.kernels.replay_lt_level
+
+        def expand(visited, fsids, fnodes):
+            return _timed(
+                "replay_lt", fn, indptr, targets, worlds_flat, world, n,
+                allowed, visited, fsids, fnodes,
+            )
+
+    return expand

@@ -1,0 +1,30 @@
+"""The njit-compiled kernel set.
+
+Importing this module requires numba (the optional ``[numba]`` extra);
+:func:`repro.kernels.resolve_backend` gates the import and turns a missing
+or broken numba into either a silent numpy fallback (``"auto"``) or a
+:class:`~repro.errors.ConfigurationError` (explicit ``"numba"``).
+
+Each function in :mod:`repro.kernels.reference` compiles lazily on its
+first call per argument-dtype signature (the dtype-adaptive CSR storage
+means int32/int64 x float32/float64 combinations each get their own
+machine code).  ``cache=True`` persists the compiled artifacts in numba's
+on-disk cache next to the source, so the one-time JIT cost is paid once
+per environment, not once per process — the dispatch layer measures and
+records what compilation does happen in the kernel stats sink.
+"""
+
+from __future__ import annotations
+
+import numba
+
+from repro.kernels import reference
+
+_njit = numba.njit(cache=True, fastmath=False)
+
+ic_flip_level = _njit(reference.ic_flip_level)
+lt_walk_level = _njit(reference.lt_walk_level)
+lt_touch_level = _njit(reference.lt_touch_level)
+lt_cross_level = _njit(reference.lt_cross_level)
+replay_ic_level = _njit(reference.replay_ic_level)
+replay_lt_level = _njit(reference.replay_lt_level)

@@ -68,17 +68,20 @@ def sample_chunk(
     count: int,
     seed_seq: np.random.SeedSequence,
     scratch: Optional[np.ndarray] = None,
+    kernel: str = "auto",
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Generate ``count`` reverse samples from the chunk's own stream.
 
     Returns the CSR-packed ``(members, indptr, root_counts)`` triple the
     parent merges straight into its
-    :class:`~repro.sampling.coverage.CoverageIndex`.
+    :class:`~repro.sampling.coverage.CoverageIndex`.  ``kernel`` selects
+    the per-level BFS backend; a chunk's output is bit-identical across
+    backends (all randomness comes from the chunk's own generator).
     """
     rng = np.random.default_rng(seed_seq)
     root_ids, roots_indptr = roots.draw(rng, count)
     members, indptr = model.reverse_sample_batch(
-        graph, root_ids, roots_indptr, rng, scratch
+        graph, root_ids, roots_indptr, rng, scratch, kernel=kernel
     )
     # Members are node ids < n: ship them at the graph's (compact) index
     # width, halving the pickled result payload on int32-eligible graphs.
@@ -91,10 +94,12 @@ def worker_sample_chunk(
     roots,
     count: int,
     seed_seq: np.random.SeedSequence,
+    kernel: str = "auto",
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     graph = graph_from_handle(graph_handle)
     return sample_chunk(
-        graph, model, roots, count, seed_seq, _scratch_for(count * graph.n)
+        graph, model, roots, count, seed_seq, _scratch_for(count * graph.n),
+        kernel=kernel,
     )
 
 
@@ -108,6 +113,7 @@ def worker_crn_chunk(
     worlds_handle,
     sets_block: List[np.ndarray],
     world_ids: np.ndarray,
+    kernel: str = "auto",
 ) -> np.ndarray:
     from repro.diffusion.montecarlo import crn_chunk
     from repro.parallel.shm import attach_arrays
@@ -121,6 +127,7 @@ def worker_crn_chunk(
         sets_block,
         world_ids,
         _scratch_for(len(world_ids) * graph.n),
+        kernel=kernel,
     )
 
 

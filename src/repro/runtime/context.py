@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.kernels import KERNEL_BACKENDS, numba_available, snapshot_stats
 from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.utils.rng import (
     RandomSource,
@@ -88,6 +89,14 @@ class ExecutionContext:
     graph_storage:
         ``"adaptive"`` (default) or ``"wide"``; see
         :meth:`repro.graph.digraph.DiGraph.from_arrays`.
+    kernel_backend:
+        Per-level labeled-BFS backend (see :mod:`repro.kernels`):
+        ``"auto"`` (default) picks the njit-compiled kernels when numba is
+        importable and the graph is large enough, silently falling back to
+        the numpy reference closures otherwise; ``"numpy"`` / ``"numba"`` /
+        ``"python"`` pin the backend (pinning ``"numba"`` without numba
+        raises at the first engine call).  Outputs are bit-identical
+        across backends, so this is pure performance policy.
     """
 
     sample_batch_size: int = DEFAULT_BATCH_SIZE
@@ -97,6 +106,7 @@ class ExecutionContext:
     jobs: Optional[int] = None
     max_samples: Optional[int] = None
     graph_storage: str = "adaptive"
+    kernel_backend: str = "auto"
     #: Aggregated diagnostics sink: engines tally counters here (mRR pool
     #: builds and carry-over totals via ``build_round_pool``) and sweeps
     #: record decisions (the graph's storage/dtype choice via
@@ -115,6 +125,11 @@ class ExecutionContext:
             raise ConfigurationError(
                 f"graph_storage must be one of {GRAPH_STORAGE_POLICIES}, "
                 f"got {self.graph_storage!r}"
+            )
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ConfigurationError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, "
+                f"got {self.kernel_backend!r}"
             )
         self._runtime = None
         self._owns_runtime = False
@@ -257,6 +272,25 @@ class ExecutionContext:
             f"{label}_prob_dtype": str(graph.prob_dtype),
             f"{label}_csr_nbytes": graph.csr_nbytes,
         })
+
+    def note_kernels(self) -> None:
+        """Record the kernel-backend decision and dispatch activity.
+
+        The companion of :meth:`note_graph` for the compiled-kernel layer:
+        stores this context's ``kernel_backend`` knob, whether numba is
+        importable here, and a snapshot of the process-wide
+        :data:`repro.kernels.KERNEL_STATS` (per-driver kernel call counts,
+        JIT compile seconds, backend resolutions).  Sweeps call it once at
+        the end of a run so the diagnostics show what actually executed.
+        """
+        stats = snapshot_stats()
+        self.record(
+            kernel_backend=self.kernel_backend,
+            kernel_numba_available=numba_available(),
+            kernel_calls=stats["calls"],
+            kernel_jit_seconds=stats["jit_seconds"],
+            kernel_backends_resolved=stats["resolved"],
+        )
 
     # ------------------------------------------------------------------
     # Pickling (work units ship contexts to worker processes)

@@ -223,6 +223,11 @@ class BatchSampler:
         self.model = model
         self.roots = roots
         self.batch_size = int(batch_size)
+        # Per-level BFS backend knob (see repro.kernels); pools are
+        # bit-identical across backends, so this is pure policy.
+        self._kernel = (
+            context.kernel_backend if context is not None else "auto"
+        )
         self._rng = as_generator(seed)
         self._runtime = runtime
         # Chunk-indexed seeding root: one draw from the caller's stream
@@ -266,7 +271,8 @@ class BatchSampler:
         self._ensure_scratch(count)
         roots, roots_indptr = self.roots.draw(self._rng, count)
         members, indptr = self.model.reverse_sample_batch(
-            self.graph, roots, roots_indptr, self._rng, self._scratch
+            self.graph, roots, roots_indptr, self._rng, self._scratch,
+            kernel=self._kernel,
         )
         return members, indptr, np.diff(roots_indptr)
 
@@ -340,6 +346,7 @@ class BatchSampler:
                     step,
                     seq,
                     self._ensure_scratch(step),
+                    kernel=self._kernel,
                 )
                 for step, seq in zip(chunks, seqs)
             ]
@@ -348,7 +355,8 @@ class BatchSampler:
             results = self._runtime.map_ordered(
                 worker_sample_chunk,
                 [
-                    (graph_handle, self.model, self.roots, step, seq)
+                    (graph_handle, self.model, self.roots, step, seq,
+                     self._kernel)
                     for step, seq in zip(chunks, seqs)
                 ],
             )
