@@ -33,7 +33,7 @@ from repro.diffusion.ic import IndependentCascade
 from repro.diffusion.lt import LinearThreshold
 from repro.graph.digraph import DiGraph
 from repro.errors import ReproError
-from repro.parallel import ParallelRuntime
+from repro.parallel import FaultPolicy, ParallelRuntime
 from repro.runtime import ExecutionContext
 
 __all__ = [
@@ -51,4 +51,5 @@ __all__ = [
     "DiGraph",
     "ReproError",
     "ParallelRuntime",
+    "FaultPolicy",
 ]

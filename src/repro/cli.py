@@ -32,6 +32,7 @@ from repro.experiments.report import format_series, format_table
 from repro.graph import analysis
 from repro.graph.io import read_edge_list
 from repro.kernels import KERNEL_BACKENDS
+from repro.parallel.runtime import POOL_FAILURE_MODES, FaultPolicy
 from repro.runtime.context import ExecutionContext
 from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.sampling.mrr import estimate_truncated_spread_mrr
@@ -77,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
         "that are identical for every worker count)",
     )
     _add_kernel_argument(solve)
+    _add_fault_arguments(solve)
     solve.add_argument("--epsilon", type=float, default=0.5)
     solve.add_argument("--max-samples", type=int, default=None)
     solve.add_argument("--seed", type=int, default=0)
@@ -133,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
         "are identical for any value; 1 = in-process)",
     )
     _add_kernel_argument(sweep)
+    _add_fault_arguments(sweep)
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--out-csv", default=None, help="write per-run rows")
     sweep.add_argument("--out-json", default=None, help="write aggregate summary")
@@ -170,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         "historical single-stream path)",
     )
     _add_kernel_argument(estimate)
+    _add_fault_arguments(estimate)
     estimate.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -183,6 +187,32 @@ def _add_kernel_argument(sub: argparse.ArgumentParser) -> None:
         "backend when numba is installed and the graph is large enough, "
         "'numba' requires it, 'numpy' pins the vectorized reference "
         "(outputs are bit-identical across backends)",
+    )
+
+
+def _add_fault_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        help="seconds the parallel supervisor waits on one dispatched "
+        "chunk before declaring its worker hung and rebuilding the pool "
+        "(default: wait forever); only meaningful with --jobs >= 2",
+    )
+    sub.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="transient-failure retries per chunk before the "
+        "--on-pool-failure behavior applies",
+    )
+    sub.add_argument(
+        "--on-pool-failure",
+        choices=POOL_FAILURE_MODES,
+        default="degrade",
+        help="once a chunk's retry/rebuild budgets are spent: 'degrade' "
+        "finishes the surviving chunks in-process (results stay "
+        "bit-identical to a clean run), 'raise' fails the command",
     )
 
 
@@ -220,6 +250,11 @@ def _context_from_args(args) -> ExecutionContext:
         reuse_pool=getattr(args, "reuse_pool", True),
         jobs=getattr(args, "jobs", None),
         kernel_backend=getattr(args, "kernel_backend", "auto"),
+        fault_policy=FaultPolicy(
+            chunk_timeout=getattr(args, "chunk_timeout", None),
+            max_retries=getattr(args, "max_retries", 2),
+            on_pool_failure=getattr(args, "on_pool_failure", "degrade"),
+        ),
     )
 
 
@@ -318,6 +353,9 @@ def _cmd_sweep(args, out) -> int:
         reuse_pool=args.reuse_pool,
         jobs=args.jobs,
         kernel_backend=args.kernel_backend,
+        chunk_timeout=args.chunk_timeout,
+        max_retries=args.max_retries,
+        on_pool_failure=args.on_pool_failure,
         seed=args.seed,
     )
     sweep = run_sweep(config)

@@ -26,6 +26,7 @@ Two execution strategies share this module:
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -441,7 +442,11 @@ class CRNSpreadEvaluator:
         self._mc_batch_size = mc_batch_size
         self._runtime = runtime
         self._worlds_handle = None  # lazily published shared-memory worlds
-        self._worlds_release = None
+        # The publication lives in an ExitStack entered on the runtime's
+        # ``published()`` context manager: the release is registered with
+        # the stack *before* the handle reaches any evaluator code, so no
+        # exception window can strand the segment until runtime close.
+        self._worlds_stack = contextlib.ExitStack()
         self._scratch: np.ndarray = None
         first = realizations[0]
         if isinstance(first, ICRealization):
@@ -503,8 +508,8 @@ class CRNSpreadEvaluator:
         if parallel:
             graph_handle = self._runtime.publish_graph(self.graph)
             if self._worlds_handle is None:
-                self._worlds_handle, self._worlds_release = (
-                    self._runtime.publish_arrays({"worlds": self._worlds})
+                self._worlds_handle = self._worlds_stack.enter_context(
+                    self._runtime.published({"worlds": self._worlds})
                 )
             from repro.parallel.tasks import worker_crn_chunk
 
@@ -565,9 +570,8 @@ class CRNSpreadEvaluator:
         repeatedly; the evaluator falls back to in-process sweeps if used
         again afterwards.
         """
-        if self._worlds_release is not None:
-            self._worlds_release()
-            self._worlds_release = None
+        self._worlds_stack.close()
+        if self._worlds_handle is not None:
             self._worlds_handle = None
             self._runtime = None
 

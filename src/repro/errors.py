@@ -38,6 +38,39 @@ class DiffusionError(ReproError):
     """Raised when a diffusion model is used incorrectly."""
 
 
+class ResourceError(ReproError):
+    """Raised when an operation would exceed an explicit resource limit.
+
+    The shared-memory layer raises this *before* handing a request to the
+    operating system: a publication larger than the configured segment
+    budget (or than the space left on the shm filesystem) fails here with
+    the offending sizes spelled out, instead of surfacing as an opaque
+    ``OSError`` from ``multiprocessing.shared_memory``.
+    """
+
+
+class WorkerPoolError(ReproError):
+    """Raised when supervised parallel dispatch exhausts its fault policy.
+
+    The parallel runtime's supervisor retries transient chunk failures,
+    rebuilds the worker pool after crashes, and (policy permitting)
+    degrades to in-process execution.  Once every recovery avenue allowed
+    by the :class:`~repro.parallel.runtime.FaultPolicy` is spent, this
+    error reports the chunk and the failure history.
+    """
+
+
+class TransientWorkerError(WorkerPoolError):
+    """A chunk failure worth retrying on the same (or a rebuilt) pool.
+
+    Chunk kernels may raise this for failures that are expected to clear
+    on a retry (lost attachments, interrupted IO); the dispatch supervisor
+    catches it and re-runs the chunk within the policy's retry budget
+    instead of failing the whole fan-out.  Any other exception from a
+    chunk is treated as deterministic and propagates immediately.
+    """
+
+
 class SamplingError(ReproError):
     """Raised when sampling (RR / mRR set generation) is misconfigured."""
 

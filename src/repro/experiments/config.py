@@ -65,6 +65,13 @@ class ExperimentConfig:
     kernel_backend: str = "auto"                 # labeled-BFS backend
                                                  # ("auto"|"numpy"|"numba"|
                                                  # "python"); bit-identical
+    chunk_timeout: Optional[float] = None        # seconds before a dispatched
+                                                 # chunk is declared hung
+    max_retries: int = 2                         # transient-failure retries
+                                                 # per chunk
+    on_pool_failure: str = "degrade"             # budget exhaustion: "degrade"
+                                                 # (in-process, bit-identical)
+                                                 # or "raise"
     seed: int = 0
     label: str = field(default="")
 
@@ -92,6 +99,7 @@ class ExperimentConfig:
                 f"kernel_backend must be one of {KERNEL_BACKENDS}, "
                 f"got {self.kernel_backend!r}"
             )
+        self.fault_policy()  # validates the supervision knobs
         check_fraction(self.epsilon, "epsilon")
         for fraction in self.eta_fractions:
             if not 0.0 < fraction <= 1.0:
@@ -107,6 +115,21 @@ class ExperimentConfig:
     def make_model(self) -> DiffusionModel:
         """Instantiate the configured diffusion model."""
         return IndependentCascade() if self.model_name == "IC" else LinearThreshold()
+
+    def fault_policy(self):
+        """The :class:`~repro.parallel.runtime.FaultPolicy` these knobs pin.
+
+        Built (and thereby validated) from the config's supervision fields;
+        fields not surfaced here (backoff, rebuild budget, segment budget)
+        keep their policy defaults.
+        """
+        from repro.parallel.runtime import FaultPolicy
+
+        return FaultPolicy(
+            chunk_timeout=self.chunk_timeout,
+            max_retries=self.max_retries,
+            on_pool_failure=self.on_pool_failure,
+        )
 
     def to_context(self) -> ExecutionContext:
         """The execution context this config describes — the single source
@@ -126,6 +149,7 @@ class ExperimentConfig:
             max_samples=self.max_samples,
             graph_storage=self.graph_storage,
             kernel_backend=self.kernel_backend,
+            fault_policy=self.fault_policy(),
         )
 
     def build_graph(self):

@@ -385,4 +385,8 @@ def run_sweep(config: ExperimentConfig) -> SweepResult:
         # call counts, JIT time) after the last eta point so the sweep's
         # diagnostics describe the whole run, next to note_graph above.
         context.note_kernels()
+        # And the supervisor's recovery activity: a sweep that survived
+        # worker crashes reports the same results as a clean one, so the
+        # fault_* counters are the only place the recovery shows.
+        context.note_faults()
     return SweepResult(config=config, eta_values=eta_values, outcomes=outcomes)

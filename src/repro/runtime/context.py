@@ -97,6 +97,17 @@ class ExecutionContext:
         ``"python"`` pin the backend (pinning ``"numba"`` without numba
         raises at the first engine call).  Outputs are bit-identical
         across backends, so this is pure performance policy.
+    fault_policy:
+        Supervision knobs for the parallel runtime
+        (:class:`~repro.parallel.runtime.FaultPolicy`: per-chunk timeout,
+        retry and rebuild budgets, degrade-vs-raise on exhaustion, the
+        shared-segment byte budget).  ``None`` uses the policy defaults.
+        Pure recovery policy: results are bit-identical under any policy
+        because recovered chunks replay their chunk-indexed seeds.
+    fault_injection:
+        A :class:`~repro.testing.faults.FaultInjection` chaos spec wrapped
+        around worker-pool submissions — tests and the chaos gate only;
+        leave ``None`` in production runs.
     """
 
     sample_batch_size: int = DEFAULT_BATCH_SIZE
@@ -107,6 +118,8 @@ class ExecutionContext:
     max_samples: Optional[int] = None
     graph_storage: str = "adaptive"
     kernel_backend: str = "auto"
+    fault_policy: Optional[object] = None
+    fault_injection: Optional[object] = None
     #: Aggregated diagnostics sink: engines tally counters here (mRR pool
     #: builds and carry-over totals via ``build_round_pool``) and sweeps
     #: record decisions (the graph's storage/dtype choice via
@@ -131,6 +144,22 @@ class ExecutionContext:
                 f"kernel_backend must be one of {KERNEL_BACKENDS}, "
                 f"got {self.kernel_backend!r}"
             )
+        if self.fault_policy is not None:
+            from repro.parallel.runtime import FaultPolicy
+
+            if not isinstance(self.fault_policy, FaultPolicy):
+                raise ConfigurationError(
+                    f"fault_policy must be a FaultPolicy, "
+                    f"got {type(self.fault_policy).__name__}"
+                )
+        if self.fault_injection is not None:
+            from repro.testing.faults import FaultInjection
+
+            if not isinstance(self.fault_injection, FaultInjection):
+                raise ConfigurationError(
+                    f"fault_injection must be a FaultInjection, "
+                    f"got {type(self.fault_injection).__name__}"
+                )
         self._runtime = None
         self._owns_runtime = False
         self._closed = False
@@ -152,7 +181,11 @@ class ExecutionContext:
         if self._runtime is None and self.jobs is not None and not self._closed:
             from repro.parallel.runtime import ParallelRuntime
 
-            self._runtime = ParallelRuntime(self.jobs)
+            self._runtime = ParallelRuntime(
+                self.jobs,
+                fault_policy=self.fault_policy,
+                injection=self.fault_injection,
+            )
             self._owns_runtime = True
         return self._runtime
 
@@ -290,6 +323,27 @@ class ExecutionContext:
             kernel_calls=stats["calls"],
             kernel_jit_seconds=stats["jit_seconds"],
             kernel_backends_resolved=stats["resolved"],
+        )
+
+    def note_faults(self) -> None:
+        """Record the parallel runtime's recovery activity.
+
+        The supervision companion of :meth:`note_graph` /
+        :meth:`note_kernels`: copies the runtime's fault counters
+        (retries, timeouts, pool rebuilds, republished segments, degraded
+        chunks, recovery wall-time, swept orphans — see
+        :attr:`~repro.parallel.runtime.ParallelRuntime.fault_stats`) into
+        the diagnostics sink as ``fault_*`` entries.  Sweeps call it at
+        the end of a run, so a recovered run is distinguishable from a
+        clean one even though their results are bit-identical.  No-op on
+        the in-process route (no runtime ever existed, nothing to report);
+        reads an already-created runtime but never creates one.
+        """
+        runtime = self._runtime
+        if runtime is None:
+            return
+        self.record(
+            **{f"fault_{key}": value for key, value in runtime.fault_stats.items()}
         )
 
     # ------------------------------------------------------------------

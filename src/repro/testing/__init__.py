@@ -1,0 +1,11 @@
+"""Test-support subsystems shipped with the library.
+
+Currently one member: :mod:`repro.testing.faults`, the deterministic
+fault-injection harness that the fault-tolerance tests and the
+``bench_fault_recovery.py`` chaos gate use to prove the parallel runtime's
+recovery paths reproduce the clean ``jobs=1`` bytes.
+"""
+
+from repro.testing.faults import FaultInjection
+
+__all__ = ["FaultInjection"]

@@ -1,0 +1,158 @@
+"""Deterministic fault injection for the parallel runtime.
+
+The supervisor in :meth:`repro.parallel.runtime.ParallelRuntime.map_ordered`
+recovers from worker deaths, hangs, and transient chunk failures.  Proving
+that the recovered output is **bit-identical** to a clean run needs faults
+that are reproducible on demand: this module provides a picklable
+:class:`FaultInjection` spec that fires on an exact ``(chunk, attempt)``
+coordinate, so a test can say "kill the worker running the third chunk,
+first attempt" and get exactly that, every time.
+
+Chunks are numbered by the runtime's lifetime dispatch counter (chunk ``k``
+is the ``k``-th chunk the runtime ever submitted to workers, counting from
+0 — the same global index that fixes the chunk's seed sequence), and
+``attempt`` counts the supervisor's retries of that chunk, starting at 0.
+An injection enabled on an :class:`~repro.runtime.context.ExecutionContext`
+(``context.fault_injection``) travels into the context's runtime and wraps
+every *worker-pool* submission in :func:`run_with_injection`; the in-process
+``jobs=1`` route and the supervisor's degraded re-runs are never injected —
+they are the reference the recovery is measured against.
+
+Kinds:
+
+``"crash"``
+    ``os._exit`` in the worker — hard death without cleanup, the pool
+    surfaces ``BrokenProcessPool`` (exercises the rebuild path).
+``"kill"``
+    ``SIGKILL`` to the worker's own pid — indistinguishable from the OOM
+    killer (also the rebuild path, but through signal delivery).
+``"hang"``
+    sleep for ``hang_seconds`` before doing the work — with a policy
+    ``chunk_timeout`` below it, exercises the timeout + rebuild path.
+``"raise"``
+    raise :class:`~repro.errors.TransientWorkerError` — exercises the
+    in-place retry/backoff path without touching the pool.
+``"corrupt"``
+    run the chunk, then perturb the first element of its first non-empty
+    array — the **negative control**: silent corruption is invisible to
+    the supervisor by design, so the bit-identity equivalence checks in
+    the tests and the chaos gate must catch it downstream.  A gate that
+    stays green under this injector is measuring nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TransientWorkerError
+
+#: The injector kinds understood by :func:`run_with_injection`.
+FAULT_KINDS = ("crash", "kill", "hang", "raise", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """A deterministic fault at one ``(chunk, attempt)`` coordinate.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    nth:
+        The lifetime chunk index (0-based, across all of the runtime's
+        dispatches) on which to fire.
+    attempts:
+        The supervisor attempts on which to fire; the default ``(0,)``
+        faults the first execution only, so one retry recovers.  A spec
+        listing every attempt defeats retry and forces the policy's
+        end-state (degrade or raise).
+    hang_seconds:
+        Sleep length for ``kind="hang"``.
+    """
+
+    kind: str
+    nth: int = 0
+    attempts: Tuple[int, ...] = (0,)
+    hang_seconds: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.nth < 0:
+            raise ConfigurationError(
+                f"fault chunk index must be >= 0, got {self.nth}"
+            )
+
+    def fires(self, index: int, attempt: int) -> bool:
+        """Whether the fault triggers for this ``(chunk, attempt)``."""
+        return index == self.nth and attempt in self.attempts
+
+
+def _corrupt_result(result):
+    """Perturb the first element of the first non-empty array in ``result``.
+
+    Works on the chunk-result shapes the runtime actually ships (an array,
+    a tuple/list of arrays, or a list of scalars); anything else is
+    returned unchanged.  The perturbation is +1 on a *copy*, so the noise
+    is deterministic and the shared segment itself is never written.
+    """
+    if isinstance(result, np.ndarray):
+        if result.size == 0:
+            return result
+        corrupted = result.copy()
+        corrupted.flat[0] += 1
+        return corrupted
+    if isinstance(result, (tuple, list)):
+        items = list(result)
+        for position, item in enumerate(items):
+            replaced = _corrupt_result(item)
+            if replaced is not item:
+                items[position] = replaced
+                return type(result)(items) if isinstance(result, tuple) else items
+        if items and isinstance(items[0], (int, float)):
+            items[0] = items[0] + 1
+            return type(result)(items) if isinstance(result, tuple) else items
+    return result
+
+
+def run_with_injection(spec: FaultInjection, index: int, attempt: int, fn, payload):
+    """Worker-side wrapper: fire ``spec`` if armed, then run the chunk.
+
+    Module-level so it pickles by reference into spawn-context workers;
+    the supervisor substitutes it for the raw chunk function whenever the
+    runtime carries an injection spec.
+    """
+    if spec.fires(index, attempt):
+        if spec.kind == "crash":  # pragma: no cover - kills the worker
+            os._exit(17)
+        if spec.kind == "kill":  # pragma: no cover - kills the worker
+            os.kill(os.getpid(), signal.SIGKILL)
+        if spec.kind == "hang":
+            time.sleep(spec.hang_seconds)
+        elif spec.kind == "raise":
+            raise TransientWorkerError(
+                f"injected transient failure on chunk {index} attempt {attempt}"
+            )
+    result = fn(*payload)
+    if spec.kind == "corrupt" and spec.fires(index, attempt):
+        result = _corrupt_result(result)
+    return result
+
+
+def echo_chunk(value):
+    """Identity chunk for supervisor unit tests (picklable by reference)."""
+    return value
+
+
+def interrupt_chunk(value):
+    """A chunk that raises ``KeyboardInterrupt`` — the user hitting Ctrl-C
+    while a worker holds the chunk; dispatch must propagate it unretried."""
+    raise KeyboardInterrupt

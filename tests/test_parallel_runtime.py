@@ -309,6 +309,57 @@ class TestHarnessInvariance:
             runtime.publish_graph(bench_graph)  # still usable
 
 
+class TestLifecycleEdges:
+    def test_map_ordered_after_close_raises_on_every_route(self):
+        # The jobs=1 branch used to skip the closed check and silently run
+        # the chunks in-process; both routes must refuse identically.
+        sequential = ParallelRuntime(1)
+        sequential.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            sequential.map_ordered(len, [((1, 2),)])
+        parallel = ParallelRuntime(2)
+        parallel.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            parallel.map_ordered(len, [((1, 2),)])
+
+    def test_double_close_after_dispatch_is_idempotent(self):
+        from repro.testing.faults import echo_chunk
+
+        runtime = ParallelRuntime(2)
+        runtime.map_ordered(echo_chunk, [(0,)])  # pool actually spun up
+        runtime.close()
+        runtime.close()
+
+    @pytest.mark.skipif(
+        not __import__("os").path.isdir("/dev/shm"),
+        reason="needs a POSIX shm filesystem",
+    )
+    def test_finalizer_unlinks_segments_at_gc(self, bench_graph):
+        import gc
+        import os
+
+        runtime = ParallelRuntime(2)
+        name = runtime.publish_graph(bench_graph).arrays.shm_name
+        assert os.path.exists(os.path.join("/dev/shm", name))
+        del runtime  # no close(): the weakref finalizer must clean up
+        gc.collect()
+        assert not os.path.exists(os.path.join("/dev/shm", name))
+
+    def test_keyboard_interrupt_mid_dispatch_leaves_no_segments(
+        self, bench_graph
+    ):
+        from repro.testing.faults import interrupt_chunk
+
+        runtime = ParallelRuntime(2)
+        runtime.publish_graph(bench_graph)
+        bundle = next(iter(runtime._state["bundles"].values()))
+        with pytest.raises(KeyboardInterrupt):
+            runtime.map_ordered(interrupt_chunk, [(0,), (1,)])
+        runtime.close()  # the interrupt handler's cleanup path
+        assert not bundle.segment_exists()
+        assert runtime._state["bundles"] == {}
+
+
 class TestResourceRelease:
     def test_evaluator_close_releases_worlds_segment(self, bench_graph):
         candidates = [[v] for v in range(20)]
