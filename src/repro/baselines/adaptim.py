@@ -15,7 +15,8 @@ efficiency gap Figures 5 and 7 show.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from collections.abc import Sequence
+from typing import Optional, Union
 
 from repro.baselines.opim import OpimNodeSelector
 from repro.core.asti import (
@@ -74,7 +75,7 @@ class AdaptIM:
         if self._owns_context:
             self.context.close()
 
-    def __enter__(self) -> "AdaptIM":
+    def __enter__(self) -> AdaptIM:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -101,7 +102,7 @@ class AdaptIM:
         realizations: Sequence[Realization],
         seeds: Union[RandomSource, Sequence[RandomSource]] = None,
         max_rounds: Optional[int] = None,
-    ) -> List[AdaptiveRunResult]:
+    ) -> list[AdaptiveRunResult]:
         """Batched engine entry; the OPIM selector has no pool carry-over,
         so sessions share only the round-synchronous observation sweep."""
         return run_adaptive_policy_batch(

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from repro.diffusion.base import DiffusionModel
 from repro.errors import ConfigurationError
@@ -55,7 +55,7 @@ class NonAdaptiveRunResult:
 
     policy_name: str
     eta: int
-    seeds: List[int]
+    seeds: list[int]
     estimated_spread: float
     lower_bound_count: int      # |S_l|: certified lower bound on OPT's size
     samples: int
@@ -124,7 +124,7 @@ class ATEUC:
         if self._owns_context:
             self.context.close()
 
-    def __enter__(self) -> "ATEUC":
+    def __enter__(self) -> ATEUC:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -152,7 +152,7 @@ class ATEUC:
         # Union-bounded confidence parameter across nodes and doublings.
         a = math.log(3.0 * (self.max_doublings + 1) * graph.n)
 
-        upper_candidate: List[int] = []
+        upper_candidate: list[int] = []
         lower_count = 1
         estimated = 0.0
         with timer:
@@ -177,7 +177,7 @@ class ATEUC:
 
     def _candidates(
         self, pool: RRCollection, n: int, eta: int, a: float
-    ) -> Tuple[List[int], int, float, bool]:
+    ) -> tuple[list[int], int, float, bool]:
         """One greedy sweep producing ``(S_u, |S_l|, estimate, certified)``.
 
         A single greedy max-coverage pass yields both candidates: ``S_u`` is
@@ -195,7 +195,7 @@ class ATEUC:
             n, stop_at_coverage=int(math.ceil(target_cover + slack)) + 1
         )
 
-        upper_candidate: List[int] = []
+        upper_candidate: list[int] = []
         lower_count = 0
         covered = 0
         estimated = 0.0

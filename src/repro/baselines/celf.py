@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.diffusion.base import DiffusionModel
 from repro.diffusion.montecarlo import (
@@ -53,7 +53,7 @@ from repro.utils.validation import check_positive_int
 class CelfResult:
     """Outcome of a CELF run."""
 
-    seeds: List[int]
+    seeds: list[int]
     estimated_spread: float
     simulations_run: int
     lazy_skips: int          # re-evaluations avoided by lazy evaluation
@@ -67,7 +67,7 @@ class _LazyQueue:
     """Max-heap of (stale gain, node, round stamp) entries."""
 
     def __init__(self) -> None:
-        self._heap: List = []
+        self._heap: list = []
 
     def push(self, gain: float, node: int, stamp: int) -> None:
         heapq.heappush(self._heap, (-gain, node, stamp))
@@ -94,7 +94,7 @@ def _run_celf(
 ) -> CelfResult:
     rng = as_generator(seed)
     queue = _LazyQueue()
-    seeds: List[int] = []
+    seeds: list[int] = []
     current_spread = 0.0
     simulations = 0
     skips = 0
@@ -258,7 +258,7 @@ class CelfMinimizationRun:
 
     policy_name: str
     eta: int
-    seeds: List[int]
+    seeds: list[int]
     estimated_spread: float
     simulations_run: int
     seconds: float
@@ -318,7 +318,7 @@ class CELFMinimizer:
         if self._owns_context:
             self.context.close()
 
-    def __enter__(self) -> "CELFMinimizer":
+    def __enter__(self) -> CELFMinimizer:
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -12,7 +12,7 @@ checks and for users who want a zero-theory reference point:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -56,7 +56,7 @@ class DegreeSelector(SeedSelector):
 class DegreeMinimizationResult:
     """Outcome of the non-adaptive degree heuristic."""
 
-    seeds: List[int]
+    seeds: list[int]
     estimated_spread: float
     eta: int
 
@@ -89,7 +89,7 @@ def degree_seed_minimization(
         raise ConfigurationError(f"eta={eta} exceeds node count {graph.n}")
     rng = as_generator(seed)
     order = np.argsort(-graph.out_degrees(), kind="stable")
-    seeds: List[int] = []
+    seeds: list[int] = []
     estimate = 0.0
     for node in order:
         seeds.append(int(node))

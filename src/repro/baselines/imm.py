@@ -23,12 +23,12 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.baselines.opim import InfluenceMaximizationResult
+from repro.baselines.opim import InfluenceMaximizationResult, resolve_sampling_policy
 from repro.diffusion.base import DiffusionModel
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraph
+from repro.runtime.context import ExecutionContext
 from repro.sampling.bounds import log_binomial
-from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.sampling.rr import RRCollection
 from repro.utils.rng import RandomSource, as_generator
 from repro.utils.validation import check_fraction, check_positive_int
@@ -53,7 +53,8 @@ def imm_influence_maximization(
     epsilon: float = 0.5,
     seed: RandomSource = None,
     max_samples: Optional[int] = None,
-    sample_batch_size: int = DEFAULT_BATCH_SIZE,
+    sample_batch_size: Optional[int] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> InfluenceMaximizationResult:
     """Select ``k`` seeds with IMM's two-phase sampling schedule.
 
@@ -61,10 +62,14 @@ def imm_influence_maximization(
     :func:`repro.baselines.opim.opim_influence_maximization`, so callers
     can swap solvers freely; IMM's phase diagnostics are attached to the
     certified ratio slot as the fraction ``LB / estimated_spread`` (a
-    quality indicator in [0, 1]).
+    quality indicator in [0, 1]).  Explicit ``max_samples`` /
+    ``sample_batch_size`` override the ``context``.
     """
     check_positive_int(k, "k")
     check_fraction(epsilon, "epsilon")
+    max_samples, sample_batch_size = resolve_sampling_policy(
+        max_samples, sample_batch_size, context
+    )
     if k > graph.n:
         raise ConfigurationError(f"k={k} exceeds node count {graph.n}")
     rng = as_generator(seed)
@@ -131,7 +136,8 @@ def imm_diagnostics(
     epsilon: float = 0.5,
     seed: RandomSource = None,
     max_samples: Optional[int] = None,
-    sample_batch_size: int = DEFAULT_BATCH_SIZE,
+    sample_batch_size: Optional[int] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> ImmDiagnostics:
     """Run phase 1 only and report the schedule IMM would use.
 
@@ -140,6 +146,9 @@ def imm_diagnostics(
     """
     check_positive_int(k, "k")
     check_fraction(epsilon, "epsilon")
+    max_samples, sample_batch_size = resolve_sampling_policy(
+        max_samples, sample_batch_size, context
+    )
     rng = as_generator(seed)
     n = graph.n
     eps_prime = math.sqrt(2.0) * epsilon

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -127,10 +127,32 @@ class OpimNodeSelector(SeedSelector):
 class InfluenceMaximizationResult:
     """Outcome of the standalone k-seed IM solver."""
 
-    seeds: List[int]
+    seeds: list[int]
     estimated_spread: float
     samples: int
     certified_ratio: float
+
+
+def resolve_sampling_policy(
+    max_samples: Optional[int],
+    sample_batch_size: Optional[int],
+    context: Optional[ExecutionContext],
+) -> tuple[Optional[int], int]:
+    """Effective ``(max_samples, sample_batch_size)`` for one solver call.
+
+    Explicit arguments win; otherwise the context's knobs apply; otherwise
+    the engine defaults.  Shared by the standalone IMM/OPIM solvers, which
+    predate :class:`ExecutionContext` but follow the same explicit-override
+    hybrid as the Monte Carlo estimators.
+    """
+    if max_samples is None and context is not None:
+        max_samples = context.max_samples
+    if sample_batch_size is None:
+        sample_batch_size = (
+            context.sample_batch_size if context is not None else None
+        ) or DEFAULT_BATCH_SIZE
+    check_positive_int(sample_batch_size, "sample_batch_size")
+    return max_samples, sample_batch_size
 
 
 def opim_influence_maximization(
@@ -140,16 +162,21 @@ def opim_influence_maximization(
     epsilon: float = 0.5,
     seed: RandomSource = None,
     max_samples: Optional[int] = None,
-    sample_batch_size: int = DEFAULT_BATCH_SIZE,
+    sample_batch_size: Optional[int] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> InfluenceMaximizationResult:
     """Select ``k`` seeds maximizing expected spread, OPIM-C style.
 
     Greedy max coverage over a doubling RR pool with Lemma A.2 certificates;
     stops when the greedy batch is certified
-    ``(1 - 1/e)(1 - eps)``-optimal among size-``k`` sets.
+    ``(1 - 1/e)(1 - eps)``-optimal among size-``k`` sets.  Explicit
+    ``max_samples`` / ``sample_batch_size`` override the ``context``.
     """
     check_positive_int(k, "k")
     check_fraction(epsilon, "epsilon")
+    max_samples, sample_batch_size = resolve_sampling_policy(
+        max_samples, sample_batch_size, context
+    )
     if k > graph.n:
         raise ConfigurationError(f"k={k} exceeds node count {graph.n}")
     rng = as_generator(seed)
@@ -170,7 +197,7 @@ def opim_influence_maximization(
 
     pool = RRCollection(graph, model, seed=rng, batch_size=sample_batch_size)
     pool.grow_to(theta_0)
-    seeds: List[int] = []
+    seeds: list[int] = []
     certified = 0.0
     for t in range(iterations):
         greedy = pool.index.greedy_max_coverage(k)

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from repro._version import __version__
 from repro.core.asti import ASTI
@@ -258,11 +259,11 @@ def _context_from_args(args) -> ExecutionContext:
     )
 
 
-def _parse_int_list(text: str) -> List[int]:
+def _parse_int_list(text: str) -> list[int]:
     return [int(part) for part in text.split(",") if part.strip()]
 
 
-def _parse_float_list(text: str) -> List[float]:
+def _parse_float_list(text: str) -> list[float]:
     return [float(part) for part in text.split(",") if part.strip()]
 
 

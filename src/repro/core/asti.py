@@ -20,7 +20,8 @@ selectors so every algorithm in the evaluation is scored by the same loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from collections.abc import Sequence
+from typing import Optional, Union
 
 import numpy as np
 
@@ -55,9 +56,9 @@ class AdaptiveRunResult:
 
     policy_name: str
     eta: int
-    seeds: List[int]                 # original node ids, commitment order
+    seeds: list[int]                 # original node ids, commitment order
     spread: int                      # realized activation count at the end
-    rounds: List[RoundRecord] = field(repr=False, default_factory=list)
+    rounds: list[RoundRecord] = field(repr=False, default_factory=list)
     seconds: float = 0.0
 
     @property
@@ -81,7 +82,7 @@ class AdaptiveRunResult:
         return sum(r.samples_carried for r in self.rounds)
 
     @property
-    def marginal_spreads(self) -> List[int]:
+    def marginal_spreads(self) -> list[int]:
         """Per-round realized marginal spread (paper Figure 10's series)."""
         return [r.observation.marginal_spread for r in self.rounds]
 
@@ -139,7 +140,7 @@ def run_adaptive_policy_batch(
     seeds: Union[RandomSource, Sequence[RandomSource]] = None,
     max_rounds: Optional[int] = None,
     kernel: str = "auto",
-) -> List[AdaptiveRunResult]:
+) -> list[AdaptiveRunResult]:
     """Run Algorithm 1 on many ground-truth worlds round-synchronously.
 
     The batched adaptive-session engine: all sessions advance in lockstep
@@ -183,8 +184,8 @@ def run_adaptive_policy_batch(
 
     batch = AdaptiveSessionBatch(graph, eta, realizations, kernel=kernel)
     limit = max_rounds if max_rounds is not None else eta
-    rounds: List[List[RoundRecord]] = [[] for _ in realizations]
-    carries: List[Optional[CarriedMRRPool]] = [None for _ in realizations]
+    rounds: list[list[RoundRecord]] = [[] for _ in realizations]
+    carries: list[Optional[CarriedMRRPool]] = [None for _ in realizations]
     while not batch.all_finished:
         active = batch.active_indices
         selections = {}
@@ -321,7 +322,7 @@ class ASTI:
         if self._owns_context:
             self.context.close()
 
-    def __enter__(self) -> "ASTI":
+    def __enter__(self) -> ASTI:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -354,7 +355,7 @@ class ASTI:
         realizations: Sequence[Realization],
         seeds: Union[RandomSource, Sequence[RandomSource]] = None,
         max_rounds: Optional[int] = None,
-    ) -> List[AdaptiveRunResult]:
+    ) -> list[AdaptiveRunResult]:
         """Solve one ASM instance on many worlds at once.
 
         The facade over :func:`run_adaptive_policy_batch`: the harness (and

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -37,7 +37,7 @@ class SelectionDiagnostics:
 class Selection:
     """A selector's answer: residual-*local* node ids plus diagnostics."""
 
-    nodes: List[int]
+    nodes: list[int]
     diagnostics: SelectionDiagnostics = field(default_factory=SelectionDiagnostics)
 
     def __post_init__(self) -> None:
@@ -83,7 +83,7 @@ class SeedSelector(abc.ABC):
         residual: ResidualGraph,
         rng: np.random.Generator,
         carry: Optional[CarriedMRRPool] = None,
-    ) -> Tuple[Selection, Optional[CarriedMRRPool]]:
+    ) -> tuple[Selection, Optional[CarriedMRRPool]]:
         """Choose seeds, optionally reusing the previous round's mRR pool.
 
         The adaptive engine calls this instead of :meth:`select`, threading

@@ -17,7 +17,7 @@ policy is scored against exactly the same ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -62,7 +62,7 @@ class AdaptiveSession:
         self.realization = realization
         self.active = np.zeros(graph.n, dtype=bool)
         self.residual: ResidualGraph = initial_residual(graph, eta)
-        self.history: List[Observation] = []
+        self.history: list[Observation] = []
 
     # ------------------------------------------------------------------
     # State inspection
@@ -84,9 +84,9 @@ class AdaptiveSession:
         return self.residual.round_index
 
     @property
-    def seeds_committed(self) -> List[int]:
+    def seeds_committed(self) -> list[int]:
         """All seeds selected so far, in commitment order (original ids)."""
-        committed: List[int] = []
+        committed: list[int] = []
         for obs in self.history:
             committed.extend(int(s) for s in obs.seeds)
         return committed
@@ -188,7 +188,7 @@ class AdaptiveSessionBatch:
         return len(self.sessions)
 
     @property
-    def active_indices(self) -> List[int]:
+    def active_indices(self) -> list[int]:
         """Indices of sessions that have not reached their target yet."""
         return [i for i, s in enumerate(self.sessions) if not s.finished]
 
@@ -197,8 +197,8 @@ class AdaptiveSessionBatch:
         return all(s.finished for s in self.sessions)
 
     def observe_batch(
-        self, selections: "dict[int, Sequence[int]]"
-    ) -> "dict[int, Observation]":
+        self, selections: dict[int, Sequence[int]]
+    ) -> dict[int, Observation]:
         """Commit one round of seeds for several sessions at once.
 
         ``selections`` maps session indices to residual-local seed ids; a

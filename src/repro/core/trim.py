@@ -13,7 +13,7 @@ pool size ``theta_max`` is reached, which happens with probability at most
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -36,6 +36,7 @@ class TrimParameters:
     class so the tests can pin each formula independently.
     """
 
+    # repro-lint: disable=REP006 -- cap arrives resolved from the selector
     def __init__(self, n: int, eta: int, epsilon: float, max_samples: Optional[int] = None):
         check_fraction(epsilon, "epsilon")
         if not 1 <= eta <= n:
@@ -155,7 +156,7 @@ class TrimSelector(SeedSelector):
         residual: ResidualGraph,
         rng: np.random.Generator,
         carry: Optional[CarriedMRRPool] = None,
-    ) -> Tuple[Selection, Optional[CarriedMRRPool]]:
+    ) -> tuple[Selection, Optional[CarriedMRRPool]]:
         n = residual.n
         eta = residual.shortfall
         if eta > n:

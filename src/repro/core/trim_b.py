@@ -11,7 +11,7 @@ Section 4.2).  ``b = 1`` recovers TRIM exactly.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -43,6 +43,7 @@ def batch_guarantee(b: int) -> float:
 class TrimBParameters:
     """The derived constants of Algorithm 3, Lines 1-5."""
 
+    # repro-lint: disable=REP006 -- cap arrives resolved from the selector
     def __init__(
         self,
         n: int,
@@ -157,7 +158,7 @@ class TrimBSelector(SeedSelector):
         residual: ResidualGraph,
         rng: np.random.Generator,
         carry: Optional[CarriedMRRPool] = None,
-    ) -> Tuple[Selection, Optional[CarriedMRRPool]]:
+    ) -> tuple[Selection, Optional[CarriedMRRPool]]:
         n = residual.n
         eta = residual.shortfall
         if eta > n:

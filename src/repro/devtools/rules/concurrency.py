@@ -1,0 +1,211 @@
+"""Concurrency rules: REP003 (picklable dispatch), REP005 (paired release).
+
+The parallel runtime's fault tolerance rebuilds worker pools mid-dispatch
+and resubmits unfinished chunks; both depend on every dispatched callable
+being a **module-level function** (the spawn-context picklability
+contract) and on every ad-hoc shared-memory publication having a release
+path that survives exceptions.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import Optional, Union
+
+from repro.devtools.rules.base import (
+    Finding,
+    Module,
+    Rule,
+    attr_chain,
+    first_positional,
+)
+
+#: The dispatch entry points whose first callable argument ships to spawned
+#: worker processes: ``ParallelRuntime.map_ordered`` and executor
+#: ``submit`` (both the runtime's internal use and any direct pool use).
+DISPATCH_METHODS = frozenset({"map_ordered", "submit"})
+
+_ScopeNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+class PicklableDispatchRule(Rule):
+    """REP003 — worker-pool callables must be module-level functions.
+
+    Lambdas, closures, and bound methods pickle either not at all or by
+    reference to state the spawned worker does not have; a dispatch that
+    works today under ``fork``-like luck breaks under the spawn context
+    and under fault-tolerant resubmission.  Unresolvable callables (a
+    parameter, a variable) are given the benefit of the doubt — the rule
+    only flags constructs that *cannot* be module-level functions.
+    """
+
+    code = "REP003"
+    name = "picklable-dispatch"
+    hint = (
+        "move the dispatched callable to module scope (see "
+        "repro.parallel.tasks' worker_* functions)"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        # Walk with an explicit function-scope stack so a Name argument can
+        # be classified as a closure (bound by a def nested inside the
+        # enclosing function) vs a module-level function.
+        yield from self._walk(module, module.tree, scopes=())
+
+    def _walk(
+        self,
+        module: Module,
+        node: ast.AST,
+        scopes: tuple[_ScopeNode, ...],
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            yield from self._check_call(module, node, scopes)
+        child_scopes = scopes
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            child_scopes = scopes + (node,)
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(module, child, child_scopes)
+
+    def _check_call(
+        self,
+        module: Module,
+        call: ast.Call,
+        scopes: tuple[_ScopeNode, ...],
+    ) -> Iterator[Finding]:
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and func.attr in DISPATCH_METHODS):
+            return
+        target = first_positional(call)
+        if target is None:
+            return
+        problem = self._classify(module, target, scopes)
+        if problem is not None:
+            yield self.finding(
+                module,
+                target,
+                f"{problem} passed to {func.attr}() — dispatched callables "
+                "must be module-level functions (spawn-context pickling; "
+                "fault-tolerant resubmission re-pickles them)",
+            )
+
+    def _classify(
+        self,
+        module: Module,
+        target: ast.expr,
+        scopes: tuple[_ScopeNode, ...],
+    ) -> Optional[str]:
+        if isinstance(target, ast.Lambda):
+            return "lambda"
+        if isinstance(target, ast.Name):
+            for scope in scopes:
+                if isinstance(scope, ast.Lambda):
+                    continue
+                for stmt in ast.walk(scope):
+                    if (
+                        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and stmt is not scope
+                        and stmt.name == target.id
+                    ):
+                        return f"nested function '{target.id}'"
+            return None
+        if isinstance(target, ast.Attribute):
+            chain = attr_chain(target)
+            if chain is not None and chain[0] in ("self", "cls"):
+                return f"bound method '{'.'.join(chain)}'"
+        return None
+
+
+class PairedReleaseRule(Rule):
+    """REP005 — ``publish_arrays`` must have exception-safe release.
+
+    The bare tuple API hands back ``(handle, release)``; losing the
+    release closure to an exception pins the shared segment until the
+    runtime closes.  A publication is accepted when the release closure
+    is invoked from a ``finally`` block or registered with an ExitStack
+    (``enter_context`` / ``callback`` / ``push``) in the same function —
+    otherwise the fix is the ``published()`` context manager.
+    """
+
+    code = "REP005"
+    name = "paired-shm-release"
+    hint = (
+        "use runtime.published(arrays) as a context manager, or register "
+        "the release closure with an ExitStack / call it in a finally block"
+    )
+    # The runtime module itself hosts the publish/release implementation
+    # (publish_arrays and the published() wrapper around it).
+    exempt_paths = ("repro/parallel/runtime.py",)
+
+    _REGISTER_METHODS = frozenset({"enter_context", "callback", "push"})
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        enclosing = _enclosing_function_index(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "publish_arrays"):
+                continue
+            scope = enclosing.get(node)
+            if scope is not None and self._released_in(scope, node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "publish_arrays() without paired release handling — an "
+                "exception here pins the shared-memory segment until the "
+                "runtime closes",
+            )
+
+    def _released_in(self, scope: ast.AST, call: ast.Call) -> bool:
+        release_name = self._release_target(scope, call)
+        if release_name is None:
+            return False
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for sub in ast.walk(stmt):
+                        if isinstance(sub, ast.Name) and sub.id == release_name:
+                            return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self._REGISTER_METHODS
+                ):
+                    for sub_arg in node.args:
+                        for sub in ast.walk(sub_arg):
+                            if isinstance(sub, ast.Name) and sub.id == release_name:
+                                return True
+        return False
+
+    @staticmethod
+    def _release_target(scope: ast.AST, call: ast.Call) -> Optional[str]:
+        """The name the call's release closure is unpacked into, if any."""
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Assign) or node.value is not call:
+                continue
+            if len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if isinstance(target, (ast.Tuple, ast.List)) and len(target.elts) == 2:
+                second = target.elts[1]
+                if isinstance(second, ast.Name):
+                    return second.id
+        return None
+
+
+def _enclosing_function_index(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    """Map every node to its innermost enclosing function definition."""
+    index: dict[ast.AST, ast.AST] = {}
+
+    def visit(node: ast.AST, current: Optional[ast.AST]) -> None:
+        if current is not None:
+            index[node] = current
+        nxt = node if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) else current
+        for child in ast.iter_child_nodes(node):
+            visit(child, nxt)
+
+    visit(tree, None)
+    return index

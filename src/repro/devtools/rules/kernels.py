@@ -1,0 +1,157 @@
+"""Kernel rule: REP004 — ``kernels/reference.py`` stays njit-compilable.
+
+``repro/kernels/reference.py`` is the single source the numba backend
+compiles (``numba_backend.py`` wraps each function in ``njit``) and the
+interpreted ``python`` backend executes as-is.  A construct outside the
+nopython subset would import fine, pass the numpy-backend tests, and only
+explode at first JIT on a numba-enabled machine — this rule fails it at
+lint time instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.rules.base import Finding, Module, Rule
+
+#: numpy callables the compiled kernels are allowed to invoke: the subset
+#: ``numba_backend.py`` demonstrably compiles today (allocation, dtype
+#: casts, and the few elementwise helpers the per-level loops need).
+#: Extend deliberately, alongside a compiled-identity test.
+NJIT_SAFE_NUMPY_CALLS = frozenset(
+    {
+        "empty",
+        "zeros",
+        "ones",
+        "full",
+        "arange",
+        "empty_like",
+        "zeros_like",
+        "searchsorted",
+        "minimum",
+        "maximum",
+        "abs",
+        "sqrt",
+        "floor",
+        "ceil",
+        "int8",
+        "int16",
+        "int32",
+        "int64",
+        "uint8",
+        "uint16",
+        "uint32",
+        "uint64",
+        "float32",
+        "float64",
+        "bool_",
+        "intp",
+    }
+)
+
+
+class NjitSafeKernelRule(Rule):
+    """REP004 — kernel bodies restricted to the njit-compilable subset."""
+
+    code = "REP004"
+    name = "njit-safe-kernels"
+    hint = (
+        "keep kernels inside the numba nopython subset compiled by "
+        "repro/kernels/numba_backend.py (typed loops over the CSR arrays; "
+        "allocation via the allowlisted numpy constructors)"
+    )
+    only_paths = ("repro/kernels/reference.py",)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_kernel(module, node)
+
+    def _check_kernel(
+        self, module: Module, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        if fn.args.kwarg is not None:
+            yield self.finding(
+                module, fn, f"kernel {fn.name}() takes **{fn.args.kwarg.arg} — "
+                "**kwargs is outside the njit signature model",
+            )
+        for node in ast.walk(fn):
+            if node is fn:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield self.finding(
+                    module, node,
+                    f"nested function {node.name}() inside kernel {fn.name}() "
+                    "— closures are not njit-compilable",
+                )
+            elif isinstance(node, ast.Lambda):
+                yield self.finding(
+                    module, node,
+                    f"lambda inside kernel {fn.name}() — closures are not "
+                    "njit-compilable",
+                )
+            elif isinstance(node, (ast.Dict, ast.DictComp)):
+                yield self.finding(
+                    module, node,
+                    f"dict literal inside kernel {fn.name}() — reflected "
+                    "dicts are outside the supported nopython subset",
+                )
+            elif isinstance(node, (ast.Set, ast.SetComp)):
+                yield self.finding(
+                    module, node,
+                    f"set literal inside kernel {fn.name}() — reflected "
+                    "sets are outside the supported nopython subset",
+                )
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                yield self.finding(
+                    module, node,
+                    f"yield inside kernel {fn.name}() — generator kernels "
+                    "cannot be njit-cached",
+                )
+            elif isinstance(node, (ast.Try, ast.With, ast.AsyncWith)):
+                kind = "try/except" if isinstance(node, ast.Try) else "with"
+                yield self.finding(
+                    module, node,
+                    f"{kind} block inside kernel {fn.name}() — unsupported "
+                    "in the nopython pipeline the backend pins",
+                )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, fn, node)
+            elif isinstance(node, ast.keyword) and node.arg == "dtype":
+                if self._is_object_dtype(module, node.value):
+                    yield self.finding(
+                        module, node.value,
+                        f"object-dtype array inside kernel {fn.name}() — "
+                        "object arrays never compile",
+                    )
+
+    def _check_call(
+        self,
+        module: Module,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        call: ast.Call,
+    ) -> Iterator[Finding]:
+        if module.numpy_random_callee(call.func) is not None:
+            yield self.finding(
+                module, call,
+                f"numpy.random call inside kernel {fn.name}() — kernels "
+                "never draw randomness; the dispatch layer passes draws in",
+            )
+            return
+        callee = module.numpy_callee(call.func)
+        if callee is not None and callee not in NJIT_SAFE_NUMPY_CALLS:
+            yield self.finding(
+                module, call,
+                f"np.{callee}() inside kernel {fn.name}() is not in the "
+                "njit-safe allowlist compiled by numba_backend.py",
+            )
+
+    @staticmethod
+    def _is_object_dtype(module: Module, value: ast.expr) -> bool:
+        if isinstance(value, ast.Name) and value.id == "object":
+            return True
+        if isinstance(value, ast.Constant) and value.value == "object":
+            return True
+        callee = module.numpy_callee(value) if isinstance(value, ast.Attribute) else None
+        return callee in ("object_", "obj2sctype")

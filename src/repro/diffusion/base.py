@@ -27,7 +27,8 @@ easily extended to other propagation models").
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -68,7 +69,7 @@ class DiffusionModel(abc.ABC):
     @abc.abstractmethod
     def sample_realization(
         self, graph: DiGraph, seed: RandomSource = None
-    ) -> "Realization":
+    ) -> Realization:
         """Sample a full live-edge realization of ``graph``.
 
         The returned object supports deterministic replay: forward spreads
@@ -114,7 +115,7 @@ class DiffusionModel(abc.ABC):
         rng: np.random.Generator,
         scratch: np.ndarray = None,
         kernel: str = "auto",
-    ) -> "tuple[np.ndarray, np.ndarray]":
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Generate a whole batch of reverse samples in one call.
 
         Parameters
@@ -200,7 +201,7 @@ class DiffusionModel(abc.ABC):
         seed: RandomSource = None,
         scratch: np.ndarray = None,
         kernel: str = "auto",
-    ) -> "tuple[np.ndarray, np.ndarray]":
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Sample ``n_sims`` independent cascades from one seed set.
 
         The forward twin of :meth:`reverse_sample_batch`: every simulation
@@ -285,7 +286,7 @@ def run_labeled_bfs(
     propose=None,
     scratch: np.ndarray = None,
     expand=None,
-) -> "tuple[np.ndarray, np.ndarray]":
+) -> tuple[np.ndarray, np.ndarray]:
     """Shared driver of the vectorized multi-sample labeled BFS.
 
     All samples advance in lockstep: the frontier is a pair of parallel
@@ -369,7 +370,7 @@ def expand_labeled_frontier(
     indptr: np.ndarray,
     frontier_sids: np.ndarray,
     frontier_nodes: np.ndarray,
-) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """CSR positions and owning sample ids of a labeled frontier's edges.
 
     The shared prologue of every ``propose`` closure: gathers the CSR
@@ -387,7 +388,7 @@ def expand_labeled_frontier(
 
 def tile_starts(
     seeds: np.ndarray, n_sims: int
-) -> "tuple[np.ndarray, np.ndarray]":
+) -> tuple[np.ndarray, np.ndarray]:
     """CSR start sets for ``n_sims`` samples sharing one seed array.
 
     The common prologue of the forward ``simulate_batch`` overrides: every
@@ -400,7 +401,7 @@ def tile_starts(
 
 def pack_by_sample(
     sample_ids: np.ndarray, nodes: np.ndarray, batch: int
-) -> "tuple[np.ndarray, np.ndarray]":
+) -> tuple[np.ndarray, np.ndarray]:
     """Group ``(sample_ids, nodes)`` pairs into a CSR batch result.
 
     Shared epilogue of the vectorized ``reverse_sample_batch``

@@ -17,7 +17,7 @@ Example 2.3 numerically.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Sequence, Tuple
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -34,7 +34,7 @@ _MAX_LT_WORLDS = 4_000_000
 
 def enumerate_ic_realizations(
     graph: DiGraph,
-) -> Iterator[Tuple[ICRealization, float]]:
+) -> Iterator[tuple[ICRealization, float]]:
     """Yield every IC realization with its probability.
 
     Guarded to ``m <= 20`` (about a million worlds); larger graphs should use
@@ -58,7 +58,7 @@ def enumerate_ic_realizations(
 
 def enumerate_lt_realizations(
     graph: DiGraph,
-) -> Iterator[Tuple[LTRealization, float]]:
+) -> Iterator[tuple[LTRealization, float]]:
     """Yield every LT live-edge world with its probability."""
     indptr, sources, probs = graph.in_csr
     per_node_options = []
@@ -87,7 +87,7 @@ def enumerate_lt_realizations(
 
 def enumerate_realizations(
     graph: DiGraph, model: DiffusionModel
-) -> Iterator[Tuple[Realization, float]]:
+) -> Iterator[tuple[Realization, float]]:
     """Dispatch enumeration on the model type."""
     if isinstance(model, IndependentCascade):
         return enumerate_ic_realizations(graph)

@@ -9,7 +9,7 @@ visited.  Both directions are frontier-vectorized with
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

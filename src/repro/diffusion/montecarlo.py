@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -86,6 +87,7 @@ def _estimate_from_sizes(sizes: np.ndarray) -> MonteCarloEstimate:
     return MonteCarloEstimate(float(sizes.mean()), std_error, samples)
 
 
+# repro-lint: disable=REP006 -- receives the resolved batch size
 def _chunked_spread_sizes(
     graph: DiGraph,
     model: DiffusionModel,
@@ -110,7 +112,7 @@ def _chunked_spread_sizes(
     ``_CHUNK_WORK_BUDGET / mean`` so the per-chunk working set stays
     cache-resident on large-cascade seed sets (see the budget's note).
     """
-    pieces: List[np.ndarray] = []
+    pieces: list[np.ndarray] = []
     generated = 0
     running_sum = 0.0
     running_sumsq = 0.0
@@ -158,7 +160,7 @@ def _resolve_estimator_policy(
     mc_batch_size: Optional[int],
     ci_halfwidth: Optional[float],
     context,
-) -> "tuple[int, Optional[float], str]":
+) -> tuple[int, Optional[float], str]:
     """Effective ``(mc_batch_size, ci_halfwidth, kernel)`` for one call.
 
     Explicit arguments win; otherwise the context's ``mc_batch_size`` /
@@ -575,7 +577,7 @@ class CRNSpreadEvaluator:
             self._worlds_handle = None
             self._runtime = None
 
-    def __enter__(self) -> "CRNSpreadEvaluator":
+    def __enter__(self) -> CRNSpreadEvaluator:
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -15,7 +15,8 @@ as the policy commits seeds.
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -231,7 +232,7 @@ def batch_reachable_from(
         return np.stack(rows)
 
     # Start sets: per-session seed validation identical to _start_mask.
-    start_lists: List[np.ndarray] = []
+    start_lists: list[np.ndarray] = []
     for sid, seeds in enumerate(seeds_per):
         mask = realizations[sid]._start_mask(
             seeds, None if allowed is None else allowed[sid]

@@ -23,7 +23,7 @@ over the edge arrays).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -38,7 +38,7 @@ _PROBABILITY_FLOOR = 1e-12
 class TopicMixture:
     """An item's topic distribution ``gamma``."""
 
-    weights: Tuple[float, ...]
+    weights: tuple[float, ...]
 
     def __post_init__(self) -> None:
         if not self.weights:
@@ -54,7 +54,7 @@ class TopicMixture:
             )
 
     @classmethod
-    def single(cls, topic: int, num_topics: int) -> "TopicMixture":
+    def single(cls, topic: int, num_topics: int) -> TopicMixture:
         """A pure item concentrated on one topic."""
         if not 0 <= topic < num_topics:
             raise ConfigurationError(
@@ -65,7 +65,7 @@ class TopicMixture:
         return cls(tuple(weights))
 
     @classmethod
-    def uniform(cls, num_topics: int) -> "TopicMixture":
+    def uniform(cls, num_topics: int) -> TopicMixture:
         """The maximally mixed item."""
         if num_topics < 1:
             raise ConfigurationError("num_topics must be >= 1")
@@ -141,7 +141,7 @@ class TopicAwareGraph:
         num_topics: int,
         seed=None,
         concentration: float = 1.0,
-    ) -> "TopicAwareGraph":
+    ) -> TopicAwareGraph:
         """Sample per-topic probabilities around the scalar weights.
 
         Each edge's scalar probability ``p(e)`` is redistributed over
@@ -185,14 +185,14 @@ class TopicAwareIC(IndependentCascade):
     @classmethod
     def for_item(
         cls, graph: TopicAwareGraph, mixture: TopicMixture
-    ) -> Tuple["TopicAwareIC", DiGraph]:
+    ) -> tuple["TopicAwareIC", DiGraph]:
         """The model and collapsed graph for one item."""
         return cls(mixture), graph.collapse(mixture)
 
 
 def effective_probability_bounds(
     graph: TopicAwareGraph, mixtures: Sequence[TopicMixture]
-) -> Tuple[float, float]:
+) -> tuple[float, float]:
     """Min/max effective edge probability across a set of items.
 
     Diagnostic helper for campaign planning: items whose mixtures

@@ -14,7 +14,8 @@ single preset.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.experiments import datasets
 from repro.experiments.config import ExperimentConfig
@@ -30,12 +31,12 @@ class CampaignScale:
 
     graph_n: Optional[int]          # None = dataset defaults
     realizations: int
-    eta_fractions: Optional[Tuple[float, ...]]  # None = paper sweep
+    eta_fractions: Optional[tuple[float, ...]]  # None = paper sweep
     max_samples: Optional[int]
-    algorithms: Tuple[str, ...] = ("ASTI", "ASTI-4", "ASTI-8", "AdaptIM", "ATEUC")
+    algorithms: tuple[str, ...] = ("ASTI", "ASTI-4", "ASTI-8", "AdaptIM", "ATEUC")
 
     @classmethod
-    def smoke(cls) -> "CampaignScale":
+    def smoke(cls) -> CampaignScale:
         """Seconds-per-cell: CI and tests."""
         return cls(
             graph_n=220,
@@ -46,7 +47,7 @@ class CampaignScale:
         )
 
     @classmethod
-    def laptop(cls) -> "CampaignScale":
+    def laptop(cls) -> CampaignScale:
         """Minutes-per-cell: a faithful relative comparison."""
         return cls(
             graph_n=None,
@@ -61,12 +62,12 @@ class CampaignResult:
     """All sweeps of a campaign, keyed by (dataset, model)."""
 
     scale: CampaignScale
-    sweeps: Dict[Tuple[str, str], SweepResult] = field(default_factory=dict)
+    sweeps: dict[tuple[str, str], SweepResult] = field(default_factory=dict)
     seconds: float = 0.0
 
     def markdown_report(self) -> str:
         """Render the campaign as a Markdown document."""
-        lines: List[str] = ["# Campaign report", ""]
+        lines: list[str] = ["# Campaign report", ""]
         lines.append(
             f"_{len(self.sweeps)} sweeps, {format_seconds(self.seconds)} total._"
         )

@@ -14,7 +14,8 @@ presets are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.diffusion.base import DiffusionModel
 from repro.diffusion.ic import IndependentCascade
@@ -32,7 +33,7 @@ from repro.utils.validation import (
 )
 
 #: The paper's full roster (Section 6.1).
-PAPER_ALGORITHMS: Tuple[str, ...] = (
+PAPER_ALGORITHMS: tuple[str, ...] = (
     "ASTI", "ASTI-2", "ASTI-4", "ASTI-8", "AdaptIM", "ATEUC"
 )
 
@@ -156,11 +157,11 @@ class ExperimentConfig:
         """Materialize the configured dataset graph."""
         return datasets.load_dataset(self.dataset, n=self.graph_n, seed=self.seed)
 
-    def eta_values(self, n: int) -> Tuple[int, ...]:
+    def eta_values(self, n: int) -> tuple[int, ...]:
         """Absolute thresholds for a graph of ``n`` nodes (min 1)."""
         return tuple(max(1, int(round(fraction * n))) for fraction in self.eta_fractions)
 
-    def scaled(self, **changes) -> "ExperimentConfig":
+    def scaled(self, **changes) -> ExperimentConfig:
         """Return a copy with fields replaced (convenience wrapper)."""
         return replace(self, **changes)
 

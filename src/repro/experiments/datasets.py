@@ -36,7 +36,7 @@ Two calibrations keep the scaled graphs in the paper's *operating regime*
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from collections.abc import Callable
 
 from repro.errors import ConfigurationError
 from repro.graph import generators, weighting
@@ -92,7 +92,7 @@ def _directed_social(n: int, avg_degree: float, seed: RandomSource) -> DiGraph:
     )
 
 
-_SPECS: List[DatasetSpec] = [
+_SPECS: list[DatasetSpec] = [
     DatasetSpec(
         name="nethept-sim",
         paper_name="NetHEPT",
@@ -143,7 +143,7 @@ _SPECS: List[DatasetSpec] = [
     ),
 ]
 
-DATASETS: Dict[str, DatasetSpec] = {spec.name: spec for spec in _SPECS}
+DATASETS: dict[str, DatasetSpec] = {spec.name: spec for spec in _SPECS}
 
 #: The paper's large-eta sweep (NetHEPT / Epinions / Youtube, Section 6.1).
 LARGE_ETA_FRACTIONS = (0.01, 0.05, 0.10, 0.15, 0.20)
@@ -152,7 +152,7 @@ LARGE_ETA_FRACTIONS = (0.01, 0.05, 0.10, 0.15, 0.20)
 SMALL_ETA_FRACTIONS = (0.01, 0.02, 0.03, 0.04, 0.05)
 
 
-def dataset_names() -> List[str]:
+def dataset_names() -> list[str]:
     """Registered dataset names in paper order."""
     return [spec.name for spec in _SPECS]
 

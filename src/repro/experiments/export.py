@@ -12,7 +12,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Union
 
 from repro.experiments.harness import SweepResult
 
@@ -32,9 +32,9 @@ RUN_COLUMNS = (
 )
 
 
-def sweep_to_rows(sweep: SweepResult) -> List[Dict[str, object]]:
+def sweep_to_rows(sweep: SweepResult) -> list[dict[str, object]]:
     """Flatten a sweep into one dict per (eta, algorithm, realization)."""
-    rows: List[Dict[str, object]] = []
+    rows: list[dict[str, object]] = []
     for eta in sweep.eta_values:
         for algorithm, outcome in sweep.outcomes[eta].items():
             for run in outcome.runs:
@@ -65,7 +65,7 @@ def write_sweep_csv(sweep: SweepResult, path: PathLike) -> int:
     return len(rows)
 
 
-def sweep_to_summary(sweep: SweepResult) -> Dict[str, object]:
+def sweep_to_summary(sweep: SweepResult) -> dict[str, object]:
     """A JSON-ready aggregate: mean metrics per (eta, algorithm)."""
     points = []
     for eta in sweep.eta_values:
@@ -98,7 +98,7 @@ def write_sweep_json(sweep: SweepResult, path: PathLike, indent: int = 2) -> Non
         handle.write("\n")
 
 
-def read_sweep_json(path: PathLike) -> Dict[str, object]:
+def read_sweep_json(path: PathLike) -> dict[str, object]:
     """Load a summary previously written by :func:`write_sweep_json`."""
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)

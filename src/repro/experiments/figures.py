@@ -10,7 +10,8 @@ in seconds while a patient user can push toward paper scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.core.asti import ASTI
 from repro.baselines.ateuc import ATEUC
@@ -46,12 +47,12 @@ class Table2Row:
 
 def table2(
     names: Sequence[str] = None,
-    n_override: Optional[Dict[str, int]] = None,
+    n_override: Optional[dict[str, int]] = None,
     seed: int = 0,
-) -> List[Table2Row]:
+) -> list[Table2Row]:
     """Regenerate Table 2 for the synthetic stand-in datasets."""
     names = list(names) if names is not None else datasets.dataset_names()
-    rows: List[Table2Row] = []
+    rows: list[Table2Row] = []
     for name in names:
         spec = datasets.get_spec(name)
         n = (n_override or {}).get(name)
@@ -74,12 +75,12 @@ def table2(
 
 def figure3(
     names: Sequence[str] = None,
-    n_override: Optional[Dict[str, int]] = None,
+    n_override: Optional[dict[str, int]] = None,
     seed: int = 0,
-) -> Dict[str, Dict[int, float]]:
+) -> dict[str, dict[int, float]]:
     """Degree distributions (fraction of nodes per degree) per dataset."""
     names = list(names) if names is not None else datasets.dataset_names()
-    distributions: Dict[str, Dict[int, float]] = {}
+    distributions: dict[str, dict[int, float]] = {}
     for name in names:
         n = (n_override or {}).get(name)
         graph = datasets.load_dataset(name, n=n, seed=seed)
@@ -91,6 +92,7 @@ def figure3(
 # Figures 4-7 and 9: the threshold sweeps
 # ----------------------------------------------------------------------
 
+# repro-lint: disable=REP006 -- declarative entry point mirroring ExperimentConfig's field
 def threshold_sweep(
     dataset: str = "nethept-sim",
     model_name: str = "IC",
@@ -151,9 +153,9 @@ def table3(
     sweep: SweepResult,
     baseline: str = "ATEUC",
     improved: str = "ASTI",
-) -> List[Table3Cell]:
+) -> list[Table3Cell]:
     """Improvement-ratio cells (with N/A feasibility marks) from a sweep."""
-    cells: List[Table3Cell] = []
+    cells: list[Table3Cell] = []
     for fraction, eta in zip(sweep.config.eta_fractions, sweep.eta_values):
         outcomes = sweep.outcomes[eta]
         cells.append(table3_cell(fraction, outcomes[baseline], outcomes[improved]))
@@ -171,8 +173,8 @@ class Figure8Result:
     dataset: str
     model_name: str
     eta: int
-    asti_spreads: Tuple[int, ...]
-    ateuc_spreads: Tuple[int, ...]
+    asti_spreads: tuple[int, ...]
+    ateuc_spreads: tuple[int, ...]
 
     @property
     def ateuc_failures(self) -> int:
@@ -185,6 +187,7 @@ class Figure8Result:
         return sum(1 for s in self.asti_spreads if s < self.eta)
 
 
+# repro-lint: disable=REP006 -- declarative entry point mirroring ExperimentConfig's field
 def figure8(
     dataset: str = "nethept-sim",
     model_name: str = "IC",
@@ -229,18 +232,19 @@ class Figure10Result:
     dataset: str
     model_name: str
     eta: int
-    per_realization: Tuple[Tuple[int, ...], ...]
+    per_realization: tuple[tuple[int, ...], ...]
 
-    def mean_by_index(self) -> List[float]:
+    def mean_by_index(self) -> list[float]:
         """Average marginal spread at each seed index (ragged-aware)."""
         longest = max((len(seq) for seq in self.per_realization), default=0)
-        means: List[float] = []
+        means: list[float] = []
         for i in range(longest):
             values = [seq[i] for seq in self.per_realization if len(seq) > i]
             means.append(sum(values) / len(values))
         return means
 
 
+# repro-lint: disable=REP006 -- declarative entry point mirroring ExperimentConfig's field
 def figure10(
     dataset: str = "nethept-sim",
     model_name: str = "IC",
@@ -257,7 +261,7 @@ def figure10(
     eta = max(1, int(round(eta_fraction * graph.n)))
     worlds = sample_shared_realizations(graph, model, realizations, seed=seed + 10)
     asti = ASTI(model, epsilon=0.5, max_samples=max_samples)
-    series: List[Tuple[int, ...]] = []
+    series: list[tuple[int, ...]] = []
     for index, phi in enumerate(worlds):
         result = asti.run(graph, eta, realization=phi, seed=seed + 100 + index)
         series.append(tuple(result.marginal_spreads))

@@ -23,7 +23,8 @@ bit-identical for any worker count (including the in-process ``jobs=1``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -59,7 +60,7 @@ class RunObservation:
     spread: int
     achieved: bool
     seconds: float
-    marginal_spreads: Tuple[int, ...] = ()
+    marginal_spreads: tuple[int, ...] = ()
 
 
 @dataclass
@@ -68,7 +69,7 @@ class AlgorithmOutcome:
 
     algorithm: str
     eta: int
-    runs: List[RunObservation] = field(default_factory=list)
+    runs: list[RunObservation] = field(default_factory=list)
 
     @property
     def mean_seed_count(self) -> float:
@@ -162,7 +163,7 @@ def sample_shared_realizations(
     model: DiffusionModel,
     count: int,
     seed: int,
-) -> List[Realization]:
+) -> list[Realization]:
     """The shared ground-truth worlds every algorithm is scored against."""
     streams = spawn_generators(seed, count)
     return [model.sample_realization(graph, rng) for rng in streams]
@@ -173,7 +174,7 @@ def run_eta_point(
     model: DiffusionModel,
     eta: int,
     algorithms: Sequence[str],
-    realizations: List[Realization],
+    realizations: list[Realization],
     epsilon: float = 0.5,
     max_samples: Optional[int] = None,
     seed: int = 0,
@@ -182,7 +183,7 @@ def run_eta_point(
     reuse_pool=UNSET,
     runtime=UNSET,
     context: Optional[ExecutionContext] = None,
-) -> Dict[str, "AlgorithmOutcome"]:
+) -> dict[str, "AlgorithmOutcome"]:
     """Compare ``algorithms`` at a single threshold ``eta``.
 
     The engine policy comes from ``context`` (legacy per-knob kwargs keep
@@ -199,7 +200,7 @@ def run_eta_point(
         mc_batch_size=mc_batch_size,
         reuse_pool=reuse_pool,
     )
-    outcomes: Dict[str, AlgorithmOutcome] = {}
+    outcomes: dict[str, AlgorithmOutcome] = {}
     for label in algorithms:
         spec = dict(
             label=label,
@@ -226,9 +227,9 @@ def run_eta_point(
     return outcomes
 
 
-def _shards(count: int, jobs: int) -> List[np.ndarray]:
+def _shards(count: int, shard_count: int) -> list[np.ndarray]:
     """Contiguous realization-index blocks, one per dispatched task."""
-    return np.array_split(np.arange(count), min(jobs, count))
+    return np.array_split(np.arange(count), min(shard_count, count))
 
 
 def _use_workers(runtime, realizations) -> bool:
@@ -324,10 +325,10 @@ class SweepResult:
     """A full threshold sweep: ``outcomes[eta][algorithm]``."""
 
     config: ExperimentConfig
-    eta_values: Tuple[int, ...]
-    outcomes: Dict[int, Dict[str, AlgorithmOutcome]]
+    eta_values: tuple[int, ...]
+    outcomes: dict[int, dict[str, AlgorithmOutcome]]
 
-    def series(self, algorithm: str, metric: str) -> List[float]:
+    def series(self, algorithm: str, metric: str) -> list[float]:
         """Extract a per-threshold series for one algorithm.
 
         ``metric`` is one of ``"seeds"``, ``"seconds"``, ``"spread"``,
@@ -361,7 +362,7 @@ def run_sweep(config: ExperimentConfig) -> SweepResult:
     ``jobs`` value.
     """
     model = config.make_model()
-    outcomes: Dict[int, Dict[str, AlgorithmOutcome]] = {}
+    outcomes: dict[int, dict[str, AlgorithmOutcome]] = {}
     with config.to_context() as context:
         graph = context.apply_storage(config.build_graph())
         context.note_graph(graph)

@@ -19,7 +19,7 @@ the running-time figures whose y-axes span decades.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from repro.errors import ConfigurationError
 
@@ -28,7 +28,7 @@ _DEFAULT_MARKERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
 
 def ascii_line_plot(
     x_values: Sequence[float],
-    series: Dict[str, Sequence[float]],
+    series: dict[str, Sequence[float]],
     width: int = 64,
     height: int = 16,
     y_label: str = "",
@@ -68,8 +68,8 @@ def ascii_line_plot(
     x_min = float(min(x_values))
     x_span = (float(max(x_values)) - x_min) or 1.0
 
-    grid: List[List[str]] = [[" "] * width for _ in range(height)]
-    for series_index, (name, values) in enumerate(series.items()):
+    grid: list[list[str]] = [[" "] * width for _ in range(height)]
+    for series_index, (_name, values) in enumerate(series.items()):
         marker = _DEFAULT_MARKERS[series_index % len(_DEFAULT_MARKERS)]
         for x, y in zip(x_values, values):
             col = int(round((float(x) - x_min) / x_span * (width - 1)))
@@ -79,7 +79,7 @@ def ascii_line_plot(
     top_label = _format_axis_value(y_max, log_y)
     bottom_label = _format_axis_value(y_min, log_y)
     label_width = max(len(top_label), len(bottom_label))
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     if y_label:

@@ -7,7 +7,7 @@ reads like the paper's artifacts.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from collections.abc import Iterable, Sequence
 
 
 def format_table(
@@ -16,7 +16,7 @@ def format_table(
     title: str = "",
 ) -> str:
     """Render an aligned table with a header rule."""
-    materialized: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    materialized: list[list[str]] = [[_cell(c) for c in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in materialized:
         if len(row) != len(headers):
@@ -25,7 +25,7 @@ def format_table(
             )
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
@@ -38,7 +38,7 @@ def format_table(
 def format_series(
     x_label: str,
     x_values: Sequence[object],
-    series: Dict[str, Sequence[float]],
+    series: dict[str, Sequence[float]],
     title: str = "",
     precision: int = 2,
 ) -> str:
@@ -46,7 +46,7 @@ def format_series(
     headers = [x_label] + list(series)
     rows = []
     for i, x in enumerate(x_values):
-        row: List[object] = [x]
+        row: list[object] = [x]
         for name in series:
             row.append(f"{float(series[name][i]):.{precision}f}")
         rows.append(row)
@@ -54,7 +54,7 @@ def format_series(
 
 
 def format_histogram(
-    counts: Dict[int, float],
+    counts: dict[int, float],
     title: str = "",
     max_rows: int = 12,
     bar_width: int = 40,
@@ -63,7 +63,7 @@ def format_histogram(
     if not counts:
         return title or "(empty histogram)"
     # Log-spaced bins: 1, 2, 4, 8, ... capture the power-law tail compactly.
-    bins: Dict[int, float] = {}
+    bins: dict[int, float] = {}
     for degree, fraction in counts.items():
         b = 1
         while b * 2 <= max(degree, 1):

@@ -8,7 +8,6 @@ distribution).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -25,7 +24,7 @@ class GraphSummary:
     average_degree: float
     lwcc_size: int
 
-    def as_row(self) -> Tuple[str, int, int, float, int]:
+    def as_row(self) -> tuple[str, int, int, float, int]:
         return (self.name, self.n, self.m, self.average_degree, self.lwcc_size)
 
 
@@ -36,7 +35,7 @@ def average_degree(graph: DiGraph) -> float:
     return graph.m / graph.n
 
 
-def degree_histogram(graph: DiGraph, direction: str = "total") -> Dict[int, int]:
+def degree_histogram(graph: DiGraph, direction: str = "total") -> dict[int, int]:
     """Map ``degree -> number of nodes`` for the requested direction.
 
     ``direction`` is ``"in"``, ``"out"``, or ``"total"`` (sum of both, the
@@ -56,7 +55,7 @@ def degree_histogram(graph: DiGraph, direction: str = "total") -> Dict[int, int]
 
 def degree_distribution(
     graph: DiGraph, direction: str = "total"
-) -> Dict[int, float]:
+) -> dict[int, float]:
     """Fraction-of-nodes version of :func:`degree_histogram` (Figure 3)."""
     histogram = degree_histogram(graph, direction)
     if graph.n == 0:
@@ -88,7 +87,7 @@ def weakly_connected_components(graph: DiGraph) -> np.ndarray:
             parent[rv] = ru
 
     labels = np.empty(graph.n, dtype=np.int64)
-    remap: Dict[int, int] = {}
+    remap: dict[int, int] = {}
     for v in range(graph.n):
         root = find(v)
         if root not in remap:

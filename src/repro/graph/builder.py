@@ -6,7 +6,8 @@ used by the generators, the IO readers, and test fixtures.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from collections.abc import Iterable
+from typing import Optional
 
 import numpy as np
 
@@ -31,7 +32,7 @@ class GraphBuilder:
             raise EdgeError(f"node count must be non-negative, got {n}")
         self.n = int(n)
         self._deduplicate = deduplicate
-        self._edges: Dict[Tuple[int, int], float] = {}
+        self._edges: dict[tuple[int, int], float] = {}
         self._parallel: list = []  # used only when deduplicate=False
 
     def __len__(self) -> int:
@@ -42,7 +43,7 @@ class GraphBuilder:
         """Whether a ``u -> v`` edge has been staged (deduplicating mode)."""
         return (u, v) in self._edges
 
-    def add_edge(self, u: int, v: int, probability: float) -> "GraphBuilder":
+    def add_edge(self, u: int, v: int, probability: float) -> GraphBuilder:
         """Stage a directed edge ``u -> v`` with the given probability."""
         self._validate(u, v, probability)
         if self._deduplicate:
@@ -51,7 +52,7 @@ class GraphBuilder:
             self._parallel.append((u, v, float(probability)))
         return self
 
-    def add_undirected_edge(self, u: int, v: int, probability: float) -> "GraphBuilder":
+    def add_undirected_edge(self, u: int, v: int, probability: float) -> GraphBuilder:
         """Stage both directions, as the paper does for undirected datasets.
 
         "an undirected edge is transformed into two directed edges"
@@ -61,13 +62,13 @@ class GraphBuilder:
         self.add_edge(v, u, probability)
         return self
 
-    def add_edges(self, edges: Iterable[Tuple[int, int, float]]) -> "GraphBuilder":
+    def add_edges(self, edges: Iterable[tuple[int, int, float]]) -> GraphBuilder:
         """Stage many ``(u, v, p)`` triples at once."""
         for u, v, p in edges:
             self.add_edge(u, v, p)
         return self
 
-    def add_path(self, nodes: Iterable[int], probability: float) -> "GraphBuilder":
+    def add_path(self, nodes: Iterable[int], probability: float) -> GraphBuilder:
         """Stage a directed path through ``nodes`` with uniform probability."""
         prev: Optional[int] = None
         for node in nodes:

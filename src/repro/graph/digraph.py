@@ -15,13 +15,14 @@ what makes a pure-Python reproduction of an RR-set-based system feasible.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Optional
 
 import numpy as np
 
 from repro.errors import EdgeError, GraphError, NodeNotFoundError
 
-Edge = Tuple[int, int, float]
+Edge = tuple[int, int, float]
 
 #: Graph storage policies.  ``adaptive`` downcasts CSR arrays where the
 #: downcast is provably lossless (int32 index/indptr arrays when both the
@@ -139,7 +140,7 @@ class DiGraph:
     @classmethod
     def from_edges(
         cls, n: int, edges: Iterable[Edge], storage: str = "adaptive"
-    ) -> "DiGraph":
+    ) -> DiGraph:
         """Build a graph from ``(source, target, probability)`` triples.
 
         Self-loops and out-of-range endpoints raise :class:`EdgeError`;
@@ -166,7 +167,7 @@ class DiGraph:
         targets: np.ndarray,
         probabilities: np.ndarray,
         storage: str = "adaptive",
-    ) -> "DiGraph":
+    ) -> DiGraph:
         """Build a graph from parallel NumPy edge arrays (vectorized path).
 
         ``storage`` selects the CSR array layout: ``"adaptive"`` (default)
@@ -268,12 +269,12 @@ class DiGraph:
     # arrays without copying; callers must treat them as read-only.
 
     @property
-    def out_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def out_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(indptr, targets, probabilities)`` of the forward adjacency."""
         return self._out_indptr, self._out_targets, self._out_probs
 
     @property
-    def in_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def in_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(indptr, sources, probabilities)`` of the reverse adjacency."""
         return self._in_indptr, self._in_sources, self._in_probs
 
@@ -303,7 +304,7 @@ class DiGraph:
             + self._in_probs.nbytes
         )
 
-    def with_storage(self, storage: str) -> "DiGraph":
+    def with_storage(self, storage: str) -> DiGraph:
         """Rebuild this graph under another storage policy.
 
         ``"wide"`` upcasts every CSR array to int64/float64; ``"adaptive"``
@@ -343,7 +344,7 @@ class DiGraph:
             for idx in range(start, end):
                 yield u, int(self._out_targets[idx]), float(self._out_probs[idx])
 
-    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Export edges as ``(sources, targets, probabilities)`` arrays.
 
         Edges come out grouped by source in ascending order, which is the
@@ -379,7 +380,7 @@ class DiGraph:
     # Transformations
     # ------------------------------------------------------------------
 
-    def reverse(self) -> "DiGraph":
+    def reverse(self) -> DiGraph:
         """Return the graph with every edge direction flipped."""
         return DiGraph(
             self.n,
@@ -392,7 +393,7 @@ class DiGraph:
             storage=self.storage,
         )
 
-    def with_probabilities(self, probabilities_by_edge) -> "DiGraph":
+    def with_probabilities(self, probabilities_by_edge) -> DiGraph:
         """Return a copy whose probabilities are recomputed per edge.
 
         ``probabilities_by_edge`` is a callable ``(u, v) -> p`` evaluated for
@@ -406,7 +407,7 @@ class DiGraph:
         )
         return DiGraph.from_arrays(self.n, src, dst, probs, storage=self.storage)
 
-    def induced_subgraph(self, keep: np.ndarray) -> Tuple["DiGraph", np.ndarray]:
+    def induced_subgraph(self, keep: np.ndarray) -> tuple["DiGraph", np.ndarray]:
         """Induce the subgraph on the nodes flagged in boolean mask ``keep``.
 
         Returns ``(subgraph, kept_node_ids)``: the subgraph renumbers the
@@ -464,9 +465,9 @@ def _build_csr(
     group_by: np.ndarray,
     values: np.ndarray,
     probs: np.ndarray,
-    index_dtype: np.dtype = np.dtype(np.int64),
-    prob_dtype: np.dtype = np.dtype(np.float64),
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    index_dtype: Optional[np.dtype] = None,
+    prob_dtype: Optional[np.dtype] = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Group ``(values, probs)`` by ``group_by`` into CSR arrays.
 
     Within each group the stored order follows a stable sort of ``group_by``,
@@ -475,6 +476,10 @@ def _build_csr(
     guarantee the cast is lossless; see :func:`csr_index_dtype` /
     :func:`csr_prob_dtype`).
     """
+    if index_dtype is None:
+        index_dtype = np.dtype(np.int64)
+    if prob_dtype is None:
+        prob_dtype = np.dtype(np.float64)
     counts = np.bincount(group_by, minlength=n) if len(group_by) else np.zeros(n, dtype=np.int64)
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
@@ -516,7 +521,7 @@ def nodes_reachable_from(
     """
     indptr, targets, _ = graph.out_csr
     visited = np.zeros(graph.n, dtype=bool)
-    frontier: List[int] = []
+    frontier: list[int] = []
     for s in sources:
         if not 0 <= s < graph.n:
             raise NodeNotFoundError(s, graph.n)
@@ -524,7 +529,7 @@ def nodes_reachable_from(
             visited[s] = True
             frontier.append(s)
     while frontier:
-        next_frontier: List[int] = []
+        next_frontier: list[int] = []
         for v in frontier:
             neighbors = targets[indptr[v] : indptr[v + 1]]
             fresh = neighbors[~visited[neighbors]]

@@ -10,7 +10,7 @@ profiling their own graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -31,7 +31,7 @@ def strongly_connected_components(graph: DiGraph) -> np.ndarray:
     lowlink = np.zeros(n, dtype=np.int64)
     on_stack = np.zeros(n, dtype=bool)
     component = np.full(n, -1, dtype=np.int64)
-    stack: List[int] = []
+    stack: list[int] = []
     next_index = 0
     component_count = 0
 
@@ -212,9 +212,9 @@ def structural_profile(
     )
 
 
-def _symmetrized_neighbor_sets(graph: DiGraph) -> List[set]:
+def _symmetrized_neighbor_sets(graph: DiGraph) -> list[set]:
     src, dst, _ = graph.edge_arrays()
-    sets: List[set] = [set() for _ in range(graph.n)]
+    sets: list[set] = [set() for _ in range(graph.n)]
     for u, v in zip(src.tolist(), dst.tolist()):
         sets[u].add(v)
         sets[v].add(u)

@@ -10,7 +10,7 @@ subgraph with the id mapping back to the original graph and the shortfall
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

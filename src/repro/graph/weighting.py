@@ -14,7 +14,7 @@ that incoming probabilities sum to at most 1.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -37,9 +37,12 @@ context diagnostics next to ``note_graph``'s dtype records.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.graph.digraph import DiGraph
 
 #: Knob values accepted by ``ExecutionContext.kernel_backend`` and
 #: ``ExperimentConfig.kernel_backend`` (and the CLI's ``--kernel-backend``).
@@ -63,7 +66,7 @@ class KernelBackend:
 
     name: str
     compiled: bool
-    kernels: Optional[object]
+    kernels: Optional[Any]
 
 
 _NUMPY = KernelBackend(name="numpy", compiled=False, kernels=None)
@@ -71,10 +74,10 @@ _NUMPY = KernelBackend(name="numpy", compiled=False, kernels=None)
 # Lazy import slot for the numba backend: None = not tried yet, otherwise
 # a (module_or_None, error_message) pair.  Tests monkeypatch this to
 # simulate a missing or import-broken numba.
-_NUMBA_CACHE = None
+_NUMBA_CACHE: Optional[tuple[Optional[Any], Optional[str]]] = None
 
 
-def _load_numba_backend():
+def _load_numba_backend() -> tuple[Optional[Any], Optional[str]]:
     global _NUMBA_CACHE
     if _NUMBA_CACHE is None:
         try:
@@ -109,7 +112,7 @@ def _numba_backend() -> KernelBackend:
     return KernelBackend(name="numba", compiled=True, kernels=module)
 
 
-def resolve_backend(name: str, graph=None) -> KernelBackend:
+def resolve_backend(name: str, graph: Optional[DiGraph] = None) -> KernelBackend:
     """Resolve a ``kernel_backend`` knob value into a concrete backend.
 
     ``"auto"`` returns the compiled backend when numba is importable and
@@ -144,7 +147,7 @@ def resolve_backend(name: str, graph=None) -> KernelBackend:
 # Kernel decision stats (feeds ExecutionContext.note_kernels)
 # ----------------------------------------------------------------------
 
-def _fresh_stats() -> Dict[str, object]:
+def _fresh_stats() -> dict[str, Any]:
     return {"calls": {}, "jit_seconds": 0.0, "resolved": {}}
 
 
@@ -156,7 +159,7 @@ def _fresh_stats() -> Dict[str, object]:
 #: counts backend resolutions by resolved name.  Deliberately global — the
 #: hot loops must not thread a stats object — and snapshotted into a
 #: context's diagnostics by ``note_kernels``.
-KERNEL_STATS: Dict[str, object] = _fresh_stats()
+KERNEL_STATS: dict[str, Any] = _fresh_stats()
 
 
 def note_call(driver: str, seconds: float, compiled_fresh: bool) -> None:
@@ -167,7 +170,7 @@ def note_call(driver: str, seconds: float, compiled_fresh: bool) -> None:
         KERNEL_STATS["jit_seconds"] += seconds
 
 
-def snapshot_stats() -> Dict[str, object]:
+def snapshot_stats() -> dict[str, Any]:
     """A deep-enough copy of :data:`KERNEL_STATS` for diagnostics sinks."""
     return {
         "calls": dict(KERNEL_STATS["calls"]),

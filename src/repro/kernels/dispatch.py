@@ -22,13 +22,19 @@ the dispatcher's compiled-signature set is attributed as JIT compile time
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
+from typing import Any, Optional
 
 import numpy as np
 
 from repro.kernels import KernelBackend, note_call
 
+#: The ``expand(visited, fsids, fnodes) -> fresh_keys`` callable the
+#: labeled-BFS driver consumes.
+Expander = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
 
-def _timed(driver: str, fn, *args):
+
+def _timed(driver: str, fn: Callable[..., Any], *args: Any) -> Any:
     signatures = getattr(fn, "signatures", None)
     before = len(signatures) if signatures is not None else 0
     start = time.perf_counter()
@@ -43,12 +49,18 @@ _EMPTY_ALLOWED = np.empty(0, dtype=bool)
 
 
 def ic_coin_expander(
-    backend: KernelBackend, driver: str, indptr, neighbors, probs, n, rng
-):
+    backend: KernelBackend,
+    driver: str,
+    indptr: np.ndarray,
+    neighbors: np.ndarray,
+    probs: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+) -> Expander:
     """IC coin-flip expander: forward over out-CSR, reverse over in-CSR."""
     fn = backend.kernels.ic_flip_level
 
-    def expand(visited, fsids, fnodes):
+    def expand(visited: np.ndarray, fsids: np.ndarray, fnodes: np.ndarray) -> np.ndarray:
         degrees = indptr[fnodes + 1] - indptr[fnodes]
         draws = rng.random(int(degrees.sum()))
         return _timed(
@@ -58,11 +70,18 @@ def ic_coin_expander(
     return expand
 
 
-def lt_walk_expander(backend: KernelBackend, indptr, sources, cum, n, rng):
+def lt_walk_expander(
+    backend: KernelBackend,
+    indptr: np.ndarray,
+    sources: np.ndarray,
+    cum: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+) -> Expander:
     """Reverse-LT expander: one keep-at-most-one-in-edge walk step."""
     fn = backend.kernels.lt_walk_level
 
-    def expand(visited, fsids, fnodes):
+    def expand(visited: np.ndarray, fsids: np.ndarray, fnodes: np.ndarray) -> np.ndarray:
         draws = rng.random(len(fnodes))
         return _timed(
             "lt_reverse", fn, indptr, sources, cum, n, visited, fsids, fnodes, draws
@@ -73,15 +92,15 @@ def lt_walk_expander(backend: KernelBackend, indptr, sources, cum, n, rng):
 
 def lt_forward_expander(
     backend: KernelBackend,
-    indptr,
-    targets,
-    probs,
-    n,
-    rng,
-    thresholds,
-    accumulated,
-    touched_before,
-):
+    indptr: np.ndarray,
+    targets: np.ndarray,
+    probs: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    thresholds: np.ndarray,
+    accumulated: np.ndarray,
+    touched_before: np.ndarray,
+) -> Expander:
     """Forward-LT expander: first-touch bookkeeping, then threshold scan.
 
     Phase 1 (``lt_touch_level``) returns the level's fresh keys sorted
@@ -92,7 +111,7 @@ def lt_forward_expander(
     touch = backend.kernels.lt_touch_level
     cross = backend.kernels.lt_cross_level
 
-    def expand(visited, fsids, fnodes):
+    def expand(visited: np.ndarray, fsids: np.ndarray, fnodes: np.ndarray) -> np.ndarray:
         fresh = _timed(
             "lt_forward", touch, indptr, targets, n, touched_before,
             accumulated, fsids, fnodes,
@@ -107,9 +126,16 @@ def lt_forward_expander(
 
 
 def replay_expander(
-    backend: KernelBackend, kind: str, indptr, targets, worlds_flat, world,
-    m, n, allowed_flat=None,
-):
+    backend: KernelBackend,
+    kind: str,
+    indptr: np.ndarray,
+    targets: np.ndarray,
+    worlds_flat: np.ndarray,
+    world: np.ndarray,
+    m: int,
+    n: int,
+    allowed_flat: Optional[np.ndarray] = None,
+) -> Expander:
     """Deterministic replay expander over pre-sampled worlds (IC or LT).
 
     Shared by ``batch_reachable_from`` (``world`` is the identity mapping,
@@ -120,7 +146,7 @@ def replay_expander(
     if kind == "ic":
         fn = backend.kernels.replay_ic_level
 
-        def expand(visited, fsids, fnodes):
+        def expand(visited: np.ndarray, fsids: np.ndarray, fnodes: np.ndarray) -> np.ndarray:
             return _timed(
                 "replay_ic", fn, indptr, targets, worlds_flat, world, m, n,
                 allowed, visited, fsids, fnodes,
@@ -129,7 +155,7 @@ def replay_expander(
     else:
         fn = backend.kernels.replay_lt_level
 
-        def expand(visited, fsids, fnodes):
+        def expand(visited: np.ndarray, fsids: np.ndarray, fnodes: np.ndarray) -> np.ndarray:
             return _timed(
                 "replay_lt", fn, indptr, targets, worlds_flat, world, n,
                 allowed, visited, fsids, fnodes,

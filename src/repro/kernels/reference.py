@@ -38,7 +38,16 @@ from __future__ import annotations
 import numpy as np
 
 
-def ic_flip_level(indptr, neighbors, probs, n, visited, fsids, fnodes, draws):
+def ic_flip_level(
+    indptr: np.ndarray,
+    neighbors: np.ndarray,
+    probs: np.ndarray,
+    n: int,
+    visited: np.ndarray,
+    fsids: np.ndarray,
+    fnodes: np.ndarray,
+    draws: np.ndarray,
+) -> np.ndarray:
     """One IC level: flip each frontier edge's coin, collect fresh nodes.
 
     Serves both directions — forward over the out-CSR and reverse over the
@@ -66,7 +75,16 @@ def ic_flip_level(indptr, neighbors, probs, n, visited, fsids, fnodes, draws):
     return fresh
 
 
-def lt_walk_level(indptr, sources, cum, n, visited, fsids, fnodes, draws):
+def lt_walk_level(
+    indptr: np.ndarray,
+    sources: np.ndarray,
+    cum: np.ndarray,
+    n: int,
+    visited: np.ndarray,
+    fsids: np.ndarray,
+    fnodes: np.ndarray,
+    draws: np.ndarray,
+) -> np.ndarray:
     """One reverse-LT level: each frontier pair keeps at most one in-edge.
 
     ``cum`` is the float64 running sum of the in-CSR probabilities; the
@@ -103,7 +121,15 @@ def lt_walk_level(indptr, sources, cum, n, visited, fsids, fnodes, draws):
     return fresh
 
 
-def lt_touch_level(indptr, targets, n, touched_before, accumulated, fsids, fnodes):
+def lt_touch_level(
+    indptr: np.ndarray,
+    targets: np.ndarray,
+    n: int,
+    touched_before: np.ndarray,
+    accumulated: np.ndarray,
+    fsids: np.ndarray,
+    fnodes: np.ndarray,
+) -> np.ndarray:
     """Forward-LT phase 1: first-touch bookkeeping for a level's edges.
 
     Marks every ``(sim, target)`` pair touched for the first time, zeroes
@@ -134,8 +160,16 @@ def lt_touch_level(indptr, targets, n, touched_before, accumulated, fsids, fnode
 
 
 def lt_cross_level(
-    indptr, targets, probs, n, accumulated, thresholds, visited, fsids, fnodes
-):
+    indptr: np.ndarray,
+    targets: np.ndarray,
+    probs: np.ndarray,
+    n: int,
+    accumulated: np.ndarray,
+    thresholds: np.ndarray,
+    visited: np.ndarray,
+    fsids: np.ndarray,
+    fnodes: np.ndarray,
+) -> np.ndarray:
     """Forward-LT phase 2: accumulate weights, collect threshold crossers.
 
     Adds each frontier edge's weight to its ``(sim, target)`` accumulator
@@ -176,8 +210,17 @@ def lt_cross_level(
 
 
 def replay_ic_level(
-    indptr, targets, live_flat, world, m, n, allowed_flat, visited, fsids, fnodes
-):
+    indptr: np.ndarray,
+    targets: np.ndarray,
+    live_flat: np.ndarray,
+    world: np.ndarray,
+    m: int,
+    n: int,
+    allowed_flat: np.ndarray,
+    visited: np.ndarray,
+    fsids: np.ndarray,
+    fnodes: np.ndarray,
+) -> np.ndarray:
     """One deterministic IC replay level over pre-sampled live-edge worlds.
 
     ``world`` maps each sample id to its world index in the flat stacked
@@ -213,8 +256,16 @@ def replay_ic_level(
 
 
 def replay_lt_level(
-    indptr, targets, chosen_flat, world, n, allowed_flat, visited, fsids, fnodes
-):
+    indptr: np.ndarray,
+    targets: np.ndarray,
+    chosen_flat: np.ndarray,
+    world: np.ndarray,
+    n: int,
+    allowed_flat: np.ndarray,
+    visited: np.ndarray,
+    fsids: np.ndarray,
+    fnodes: np.ndarray,
+) -> np.ndarray:
     """One deterministic LT replay level over pre-sampled chosen in-edges.
 
     Edge ``u -> v`` is live in sample ``sid`` exactly when ``v`` chose

@@ -44,7 +44,17 @@ import time
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:
+    from concurrent.futures import Future, ProcessPoolExecutor
+
+    import numpy as np
+
+    from repro.graph.digraph import DiGraph
+    from repro.parallel.shm import ArrayHandle
+    from repro.testing.faults import FaultInjection
 
 from repro.errors import (
     ConfigurationError,
@@ -147,7 +157,7 @@ class FaultPolicy:
         check_optional_positive_int(self.max_segment_bytes, "max_segment_bytes")
 
 
-def _shutdown_executor(executor) -> None:
+def _shutdown_executor(executor: ProcessPoolExecutor) -> None:
     """Tear a pool down even when workers are hung or already dead.
 
     ``shutdown(wait=True)`` alone joins worker processes — forever, if one
@@ -163,7 +173,7 @@ def _shutdown_executor(executor) -> None:
     executor.shutdown(wait=True, cancel_futures=True)
 
 
-def _release(state: dict) -> None:
+def _release(state: dict[str, Any]) -> None:
     """Finalizer: tear down the executor and unlink every live segment.
 
     Leaves ``state`` with empty-but-present containers so that late calls
@@ -202,8 +212,8 @@ class ParallelRuntime:
         self,
         jobs: int = 1,
         fault_policy: Optional[FaultPolicy] = None,
-        injection=None,
-    ):
+        injection: Optional[FaultInjection] = None,
+    ) -> None:
         check_positive_int(jobs, "jobs")
         if fault_policy is not None and not isinstance(fault_policy, FaultPolicy):
             raise ConfigurationError(
@@ -215,12 +225,14 @@ class ParallelRuntime:
         self._injection = injection
         # Everything needing cleanup lives in _state so the finalizer can
         # reference it without keeping the runtime itself alive.
-        self._state: dict = {"executor": None, "bundles": {}}
-        self._graphs: "OrderedDict[int, tuple]" = OrderedDict()
-        self._worlds: "OrderedDict[int, tuple]" = OrderedDict()
+        self._state: dict[str, Any] = {"executor": None, "bundles": {}}
+        self._graphs: OrderedDict[int, tuple[Any, GraphHandle, int]] = OrderedDict()
+        self._worlds: OrderedDict[int, tuple[Any, RealizationsHandle, int]] = (
+            OrderedDict()
+        )
         self._closed = False
         self._chunks_dispatched = 0
-        self._faults: Dict[str, object] = {
+        self._faults: dict[str, float] = {
             "retries": 0,
             "timeouts": 0,
             "rebuilds": 0,
@@ -245,7 +257,7 @@ class ParallelRuntime:
         return self.jobs > 1
 
     @property
-    def fault_stats(self) -> Dict[str, object]:
+    def fault_stats(self) -> dict[str, float]:
         """A copy of the supervisor's recovery counters.
 
         Keys: ``retries`` (transient chunk re-runs), ``timeouts`` (chunks
@@ -265,17 +277,17 @@ class ParallelRuntime:
         self._worlds.clear()
         self._finalizer()
 
-    def __enter__(self) -> "ParallelRuntime":
+    def __enter__(self) -> ParallelRuntime:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def _check_open(self) -> None:
         if self._closed:
             raise ConfigurationError("parallel runtime is closed")
 
-    def _executor(self):
+    def _executor(self) -> ProcessPoolExecutor:
         self._check_open()
         if self._state["executor"] is None:
             import multiprocessing
@@ -302,7 +314,7 @@ class ParallelRuntime:
         if bundle is not None:
             bundle.close()
 
-    def publish_graph(self, graph) -> GraphHandle:
+    def publish_graph(self, graph: DiGraph) -> GraphHandle:
         """Shared-memory handle for ``graph``, packed once and cached.
 
         The cache holds a strong reference to the graph, so ``id(graph)``
@@ -326,7 +338,9 @@ class ParallelRuntime:
             self._drop(old_bundle_id)
         return handle
 
-    def publish_arrays(self, arrays) -> Tuple:
+    def publish_arrays(
+        self, arrays: Mapping[str, np.ndarray]
+    ) -> tuple[ArrayHandle, Callable[[], None]]:
         """Share a dict of arrays; returns ``(ArrayHandle, release)``.
 
         The generic escape hatch (the CRN evaluator publishes its stacked
@@ -347,7 +361,7 @@ class ParallelRuntime:
         return bundle.handle, lambda: self._drop(bundle_id)
 
     @contextlib.contextmanager
-    def published(self, arrays):
+    def published(self, arrays: Mapping[str, np.ndarray]) -> Iterator[ArrayHandle]:
         """Context manager over :meth:`publish_arrays`.
 
         Yields the :class:`~repro.parallel.shm.ArrayHandle` and releases
@@ -362,7 +376,7 @@ class ParallelRuntime:
         finally:
             release()
 
-    def publish_realizations(self, realizations: Sequence) -> RealizationsHandle:
+    def publish_realizations(self, realizations: Sequence[Any]) -> RealizationsHandle:
         """Shared-memory handle for a homogeneous realization batch.
 
         Cached by the identity of ``realizations`` (with a strong
@@ -392,7 +406,9 @@ class ParallelRuntime:
     # Supervised dispatch
     # ------------------------------------------------------------------
 
-    def map_ordered(self, fn: Callable, payloads: Sequence[tuple]) -> List:
+    def map_ordered(
+        self, fn: Callable[..., Any], payloads: Sequence[tuple[Any, ...]]
+    ) -> list[Any]:
         """Run ``fn(*payload)`` for every payload, results in input order.
 
         With ``jobs=1`` this is a plain loop (same functions, same order);
@@ -413,7 +429,14 @@ class ParallelRuntime:
             return [fn(*payload) for payload in payloads]
         return self._supervised_gather(fn, payloads)
 
-    def _submit(self, executor, fn, chunk_id: int, attempt: int, payload: tuple):
+    def _submit(
+        self,
+        executor: ProcessPoolExecutor,
+        fn: Callable[..., Any],
+        chunk_id: int,
+        attempt: int,
+        payload: tuple[Any, ...],
+    ) -> Future[Any]:
         if self._injection is not None:
             from repro.testing.faults import run_with_injection
 
@@ -422,7 +445,7 @@ class ParallelRuntime:
             )
         return executor.submit(fn, *payload)
 
-    def _run_degraded(self, fn, payload: tuple):
+    def _run_degraded(self, fn: Callable[..., Any], payload: tuple[Any, ...]) -> Any:
         """One chunk in-process: the graceful-degradation executor.
 
         The same function on the same payload the worker would have run —
@@ -434,7 +457,7 @@ class ParallelRuntime:
         self._faults["degraded_chunks"] += 1
         return fn(*payload)
 
-    def _rebuild_pool(self):
+    def _rebuild_pool(self) -> ProcessPoolExecutor:
         """Replace a broken/hung pool; republish any missing segments."""
         self._faults["rebuilds"] += 1
         executor = self._state["executor"]
@@ -450,7 +473,11 @@ class ParallelRuntime:
         return self._executor()
 
     def _terminal_failure(
-        self, chunk_id: int, failure: str, attempts: int, error=None
+        self,
+        chunk_id: int,
+        failure: str,
+        attempts: int,
+        error: Optional[BaseException] = None,
     ) -> None:
         """Budgets spent for a chunk: degrade from here on, or raise."""
         if self.fault_policy.on_pool_failure == "raise":
@@ -467,7 +494,9 @@ class ParallelRuntime:
         if executor is not None:
             _shutdown_executor(executor)
 
-    def _supervised_gather(self, fn, payloads: Sequence[tuple]) -> List:
+    def _supervised_gather(
+        self, fn: Callable[..., Any], payloads: Sequence[tuple[Any, ...]]
+    ) -> list[Any]:
         from concurrent.futures import TimeoutError as FuturesTimeout
         from concurrent.futures.process import BrokenProcessPool
 
@@ -477,7 +506,7 @@ class ParallelRuntime:
         self._chunks_dispatched += count
         chunk_ids = [first_id + i for i in range(count)]
         attempts = [0] * count
-        results: List = [None] * count
+        results: list[Any] = [None] * count
         done = [False] * count
         degraded = False
         rebuilds_left = policy.max_rebuilds

@@ -42,7 +42,8 @@ import secrets
 from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -103,7 +104,7 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
-def sweep_orphans(shm_dir: str = _SHM_DIR) -> List[str]:
+def sweep_orphans(shm_dir: str = _SHM_DIR) -> list[str]:
     """Unlink leaked segments of dead runs; returns the names removed.
 
     A crash between publication and the runtime finalizer (``kill -9``,
@@ -113,7 +114,7 @@ def sweep_orphans(shm_dir: str = _SHM_DIR) -> List[str]:
     touched — segments of this process and of every live sibling survive.
     Best-effort and Linux-shaped (``/dev/shm``); elsewhere it is a no-op.
     """
-    removed: List[str] = []
+    removed: list[str] = []
     try:
         names = os.listdir(shm_dir)
     except OSError:
@@ -149,7 +150,7 @@ class ArrayHandle:
     """
 
     shm_name: str
-    specs: Tuple[Tuple[str, int, Tuple[int, ...], str], ...]
+    specs: tuple[tuple[str, int, tuple[int, ...], str], ...]
 
 
 class SharedArrayBundle:
@@ -167,7 +168,7 @@ class SharedArrayBundle:
         shm: shared_memory.SharedMemory,
         handle: ArrayHandle,
         sources: Sequence[np.ndarray] = (),
-    ):
+    ) -> None:
         self._shm = shm
         self.handle = handle
         self._sources = tuple(sources)
@@ -211,7 +212,7 @@ class SharedArrayBundle:
         shm = shared_memory.SharedMemory(
             create=True, name=self.handle.shm_name, size=max(self.nbytes, 1)
         )
-        for (name, start, shape, dtype), source in zip(
+        for (_name, start, shape, dtype), source in zip(
             self.handle.specs, self._sources
         ):
             view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=start)
@@ -256,7 +257,7 @@ def validate_publication(
 
 
 def pack_arrays(
-    arrays: Dict[str, np.ndarray], max_bytes: Optional[int] = None
+    arrays: dict[str, np.ndarray], max_bytes: Optional[int] = None
 ) -> SharedArrayBundle:
     """Copy ``arrays`` into one fresh shared-memory segment.
 
@@ -269,8 +270,8 @@ def pack_arrays(
     """
     if not arrays:
         raise ConfigurationError("cannot pack an empty array set")
-    specs: List[Tuple[str, int, Tuple[int, ...], str]] = []
-    sources: List[np.ndarray] = []
+    specs: list[tuple[str, int, tuple[int, ...], str]] = []
+    sources: list[np.ndarray] = []
     offset = 0
     for name, array in arrays.items():
         array = np.ascontiguousarray(array)
@@ -282,7 +283,7 @@ def pack_arrays(
     shm = shared_memory.SharedMemory(
         create=True, name=next_segment_name(), size=max(offset, 1)
     )
-    for (name, start, shape, dtype), source in zip(specs, sources):
+    for (_name, start, shape, dtype), source in zip(specs, sources):
         view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=start)
         view[...] = source
     return SharedArrayBundle(shm, ArrayHandle(shm.name, tuple(specs)), sources)
@@ -297,7 +298,9 @@ def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
     way only the parent, which created the segment, ever unlinks it.
     """
     try:
-        return shared_memory.SharedMemory(name=name, track=False)
+        return shared_memory.SharedMemory(  # type: ignore[call-arg]
+            name=name, track=False
+        )
     except TypeError:  # Python < 3.13: no track parameter
         return shared_memory.SharedMemory(name=name)
 
@@ -314,24 +317,24 @@ def disable_shm_tracking() -> None:
 
     original = resource_tracker.register
 
-    def register(name, rtype):  # pragma: no cover - runs in workers
+    def register(name: str, rtype: str) -> None:  # pragma: no cover - workers
         if rtype == "shared_memory":
             return None
         return original(name, rtype)
 
-    resource_tracker.register = register
+    resource_tracker.register = register  # type: ignore[assignment]
 
 
 # ----------------------------------------------------------------------
 # Worker-side attachment cache
 # ----------------------------------------------------------------------
 
-_attached: "OrderedDict[str, Tuple[shared_memory.SharedMemory, Dict[str, np.ndarray]]]" = (
+_attached: OrderedDict[str, tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]] = (
     OrderedDict()
 )
 
 
-def attach_arrays(handle: ArrayHandle) -> Dict[str, np.ndarray]:
+def attach_arrays(handle: ArrayHandle) -> dict[str, np.ndarray]:
     """Views onto the arrays of ``handle``'s segment (cached per segment)."""
     cached = _attached.get(handle.shm_name)
     if cached is not None:
@@ -351,8 +354,8 @@ def attach_arrays(handle: ArrayHandle) -> Dict[str, np.ndarray]:
     try:
         import os
 
-        os.close(shm._fd)
-        shm._fd = -1
+        os.close(shm._fd)  # type: ignore[attr-defined]
+        shm._fd = -1  # type: ignore[attr-defined]
     except (OSError, AttributeError):  # pragma: no cover - non-POSIX
         pass
     _attached[handle.shm_name] = (shm, views)
@@ -375,7 +378,7 @@ class GraphHandle:
 
 def share_graph(
     graph: DiGraph, max_bytes: Optional[int] = None
-) -> Tuple[SharedArrayBundle, GraphHandle]:
+) -> tuple[SharedArrayBundle, GraphHandle]:
     """Pack a graph's six CSR arrays into one shared segment."""
     out_indptr, out_targets, out_probs = graph.out_csr
     in_indptr, in_sources, in_probs = graph.in_csr
@@ -433,7 +436,7 @@ def realizations_shareable(realizations: Sequence[Realization]) -> bool:
 
 def share_realizations(
     realizations: Sequence[Realization], max_bytes: Optional[int] = None
-) -> Tuple[SharedArrayBundle, RealizationsHandle]:
+) -> tuple[SharedArrayBundle, RealizationsHandle]:
     """Stack a homogeneous IC/LT realization batch into shared memory."""
     if not realizations_shareable(realizations):
         raise ConfigurationError(
@@ -451,7 +454,7 @@ def share_realizations(
 
 def realizations_from_handle(
     graph: DiGraph, handle: RealizationsHandle, indices: Sequence[int]
-) -> List[Realization]:
+) -> list[Realization]:
     """Rebuild the realizations at ``indices`` as views over shared rows."""
     worlds = attach_arrays(handle.arrays)["worlds"]
     if handle.kind == "ic":

@@ -26,17 +26,23 @@ on which worker (or how many workers) ran it.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
 
 from repro.parallel.shm import (
+    ArrayHandle,
     GraphHandle,
     RealizationsHandle,
     disable_shm_tracking,
     graph_from_handle,
     realizations_from_handle,
 )
+
+if TYPE_CHECKING:
+    from repro.diffusion.base import DiffusionModel
+    from repro.graph.digraph import DiGraph
 
 
 def worker_initializer() -> None:  # pragma: no cover - runs in workers
@@ -62,14 +68,14 @@ def _scratch_for(size: int) -> np.ndarray:
 # ----------------------------------------------------------------------
 
 def sample_chunk(
-    graph,
-    model,
-    roots,
+    graph: DiGraph,
+    model: DiffusionModel,
+    roots: Any,
     count: int,
     seed_seq: np.random.SeedSequence,
     scratch: Optional[np.ndarray] = None,
     kernel: str = "auto",
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Generate ``count`` reverse samples from the chunk's own stream.
 
     Returns the CSR-packed ``(members, indptr, root_counts)`` triple the
@@ -90,12 +96,12 @@ def sample_chunk(
 
 def worker_sample_chunk(
     graph_handle: GraphHandle,
-    model,
-    roots,
+    model: DiffusionModel,
+    roots: Any,
     count: int,
     seed_seq: np.random.SeedSequence,
     kernel: str = "auto",
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     graph = graph_from_handle(graph_handle)
     return sample_chunk(
         graph, model, roots, count, seed_seq, _scratch_for(count * graph.n),
@@ -110,8 +116,8 @@ def worker_sample_chunk(
 def worker_crn_chunk(
     graph_handle: GraphHandle,
     kind: str,
-    worlds_handle,
-    sets_block: List[np.ndarray],
+    worlds_handle: ArrayHandle,
+    sets_block: list[np.ndarray],
     world_ids: np.ndarray,
     kernel: str = "auto",
 ) -> np.ndarray:
@@ -136,12 +142,12 @@ def worker_crn_chunk(
 # ----------------------------------------------------------------------
 
 def adaptive_shard(
-    graph,
-    realizations: Sequence,
-    algorithm_spec: dict,
+    graph: DiGraph,
+    realizations: Sequence[Any],
+    algorithm_spec: dict[str, Any],
     eta: int,
     seed_seqs: Sequence[np.random.SeedSequence],
-) -> List[Tuple[int, int, float, Tuple[int, ...]]]:
+) -> list[tuple[int, int, float, tuple[int, ...]]]:
     """Run one algorithm over a block of ground-truth realizations.
 
     ``algorithm_spec`` holds :func:`repro.experiments.harness
@@ -177,18 +183,18 @@ def worker_adaptive_shard(
     graph_handle: GraphHandle,
     worlds_handle: RealizationsHandle,
     indices: Sequence[int],
-    algorithm_spec: dict,
+    algorithm_spec: dict[str, Any],
     eta: int,
     seed_seqs: Sequence[np.random.SeedSequence],
-) -> List[Tuple[int, int, float, Tuple[int, ...]]]:
+) -> list[tuple[int, int, float, tuple[int, ...]]]:
     graph = graph_from_handle(graph_handle)
     realizations = realizations_from_handle(graph, worlds_handle, indices)
     return adaptive_shard(graph, realizations, algorithm_spec, eta, seed_seqs)
 
 
 def spread_shard(
-    realizations: Sequence, seeds: Sequence[int]
-) -> List[int]:
+    realizations: Sequence[Any], seeds: Sequence[int]
+) -> list[int]:
     """Realized spread of one fixed seed set on each realization."""
     return [int(phi.spread(seeds)) for phi in realizations]
 
@@ -198,7 +204,7 @@ def worker_spread_shard(
     worlds_handle: RealizationsHandle,
     indices: Sequence[int],
     seeds: Sequence[int],
-) -> List[int]:
+) -> list[int]:
     graph = graph_from_handle(graph_handle)
     realizations = realizations_from_handle(graph, worlds_handle, indices)
     return spread_shard(realizations, seeds)

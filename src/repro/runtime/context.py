@@ -32,9 +32,15 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field, fields, replace
-from typing import Dict, List, Optional, Tuple, Union
+from collections.abc import Iterable
+from typing import TYPE_CHECKING, Any, Optional, Union, cast
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.graph.digraph import DiGraph
+    from repro.parallel.runtime import FaultPolicy, ParallelRuntime
+    from repro.testing.faults import FaultInjection
 
 from repro.errors import ConfigurationError
 from repro.kernels import KERNEL_BACKENDS, numba_available, snapshot_stats
@@ -118,15 +124,15 @@ class ExecutionContext:
     max_samples: Optional[int] = None
     graph_storage: str = "adaptive"
     kernel_backend: str = "auto"
-    fault_policy: Optional[object] = None
-    fault_injection: Optional[object] = None
+    fault_policy: Optional[FaultPolicy] = None
+    fault_injection: Optional[FaultInjection] = None
     #: Aggregated diagnostics sink: engines tally counters here (mRR pool
     #: builds and carry-over totals via ``build_round_pool``) and sweeps
     #: record decisions (the graph's storage/dtype choice via
     #: :meth:`note_graph`).  Parent-side only: contexts pickled into
     #: worker processes carry a *copy* of the dict, so worker-side tallies
     #: stay in the worker.
-    diagnostics: Dict[str, object] = field(default_factory=dict, repr=False)
+    diagnostics: dict[str, object] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         check_positive_int(self.sample_batch_size, "sample_batch_size")
@@ -160,16 +166,16 @@ class ExecutionContext:
                     f"fault_injection must be a FaultInjection, "
                     f"got {type(self.fault_injection).__name__}"
                 )
-        self._runtime = None
-        self._owns_runtime = False
-        self._closed = False
+        self._runtime: Optional[ParallelRuntime] = None
+        self._owns_runtime: bool = False
+        self._closed: bool = False
 
     # ------------------------------------------------------------------
     # Parallel runtime lifecycle
     # ------------------------------------------------------------------
 
     @property
-    def runtime(self):
+    def runtime(self) -> Optional[ParallelRuntime]:
         """The context's :class:`~repro.parallel.runtime.ParallelRuntime`.
 
         ``None`` when ``jobs`` is ``None`` (the historical in-process
@@ -189,7 +195,7 @@ class ExecutionContext:
             self._owns_runtime = True
         return self._runtime
 
-    def attach_runtime(self, runtime) -> "ExecutionContext":
+    def attach_runtime(self, runtime: Optional[ParallelRuntime]) -> ExecutionContext:
         """Use an externally owned runtime instead of creating one.
 
         The caller keeps ownership: this context never closes an attached
@@ -218,21 +224,21 @@ class ExecutionContext:
             self._runtime = None
             self._owns_runtime = False
 
-    def __enter__(self) -> "ExecutionContext":
+    def __enter__(self) -> ExecutionContext:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
     # Derivation
     # ------------------------------------------------------------------
 
-    def replace(self, **changes) -> "ExecutionContext":
+    def replace(self, **changes: Any) -> ExecutionContext:
         """A fresh context with fields replaced (no runtime is inherited)."""
         return replace(self, **changes)
 
-    def sequential(self) -> "ExecutionContext":
+    def sequential(self) -> ExecutionContext:
         """A copy with no parallel runtime (``jobs=None``).
 
         The experiment harness hands this to adaptive roster entries: they
@@ -256,7 +262,7 @@ class ExecutionContext:
     @staticmethod
     def spawn_seed_sequences(
         seed: RandomSource, count: int
-    ) -> List[np.random.SeedSequence]:
+    ) -> list[np.random.SeedSequence]:
         """``count`` independent child sequences rooted at ``seed``.
 
         The picklable half of the factory: work units shipped to worker
@@ -268,7 +274,7 @@ class ExecutionContext:
     @staticmethod
     def spawn_generators(
         seed: RandomSource, count: int
-    ) -> List[np.random.Generator]:
+    ) -> list[np.random.Generator]:
         """``count`` independent generators rooted at ``seed``."""
         return spawn_generators(seed, count)
 
@@ -276,15 +282,16 @@ class ExecutionContext:
     # Diagnostics sink
     # ------------------------------------------------------------------
 
-    def record(self, **entries) -> None:
+    def record(self, **entries: object) -> None:
         """Merge diagnostic entries into the aggregated sink."""
         self.diagnostics.update(entries)
 
     def tally(self, name: str, amount: Union[int, float] = 1) -> None:
         """Accumulate a numeric counter in the diagnostics sink."""
-        self.diagnostics[name] = self.diagnostics.get(name, 0) + amount
+        current = cast("Union[int, float]", self.diagnostics.get(name, 0))
+        self.diagnostics[name] = current + amount
 
-    def apply_storage(self, graph):
+    def apply_storage(self, graph: DiGraph) -> DiGraph:
         """Re-layout ``graph`` under this context's ``graph_storage`` policy.
 
         A no-op when the graph already follows the policy (the default:
@@ -297,7 +304,7 @@ class ExecutionContext:
             return graph
         return graph.with_storage(self.graph_storage)
 
-    def note_graph(self, graph, label: str = "graph") -> None:
+    def note_graph(self, graph: DiGraph, label: str = "graph") -> None:
         """Record a graph's storage decision (dtype choices, byte size)."""
         self.record(**{
             f"{label}_storage": graph.storage,
@@ -350,11 +357,11 @@ class ExecutionContext:
     # Pickling (work units ship contexts to worker processes)
     # ------------------------------------------------------------------
 
-    def __getstate__(self):
+    def __getstate__(self) -> dict[str, object]:
         state = {f.name: getattr(self, f.name) for f in fields(self)}
         return state
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: dict[str, object]) -> None:
         for name, value in state.items():
             object.__setattr__(self, name, value)
         self._runtime = None
@@ -367,10 +374,11 @@ def default_context() -> ExecutionContext:
     return ExecutionContext()
 
 
-def _warn_legacy(owner: str, names) -> None:
+def _warn_legacy(owner: str, names: Iterable[str]) -> None:
     warnings.warn(
         f"{owner}: passing {', '.join(sorted(names))} as per-knob keyword "
-        f"arguments is deprecated; build an ExecutionContext and pass "
+        f"arguments is deprecated [repro-lint REP006: engine policy routes "
+        f"through ExecutionContext]; build an ExecutionContext and pass "
         f"context= instead (outputs are bit-identical)",
         DeprecationWarning,
         stacklevel=4,
@@ -380,9 +388,9 @@ def _warn_legacy(owner: str, names) -> None:
 def resolve_context(
     context: Optional[ExecutionContext],
     owner: str,
-    runtime=UNSET,
-    **legacy,
-) -> Tuple[ExecutionContext, bool]:
+    runtime: Any = UNSET,
+    **legacy: Any,
+) -> tuple[ExecutionContext, bool]:
     """The deprecation shim shared by every public facade.
 
     Returns ``(context, owns)``:

@@ -17,7 +17,7 @@ one *set batch* at a time instead of one element at a time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -32,9 +32,9 @@ _INITIAL_SET_CAPACITY = 256
 class GreedyCoverResult:
     """Outcome of greedy maximum coverage."""
 
-    nodes: List[int]
+    nodes: list[int]
     covered: int          # number of sets covered by `nodes`
-    marginal_gains: List[int]  # sets newly covered by each pick, in order
+    marginal_gains: list[int]  # sets newly covered by each pick, in order
 
 
 class _SetsView:
@@ -46,7 +46,7 @@ class _SetsView:
 
     __slots__ = ("_index",)
 
-    def __init__(self, index: "CoverageIndex"):
+    def __init__(self, index: CoverageIndex):
         self._index = index
 
     def __len__(self) -> int:
@@ -169,7 +169,7 @@ class CoverageIndex:
         """Read-only view of the stored sets (CSR slices, no copies)."""
         return _SetsView(self)
 
-    def packed(self) -> Tuple[np.ndarray, np.ndarray]:
+    def packed(self) -> tuple[np.ndarray, np.ndarray]:
         """The raw ``(members, indptr)`` CSR arrays (read-only views)."""
         used = self._indptr[self._num_sets]
         return self._members[:used], self._indptr[: self._num_sets + 1]
@@ -192,7 +192,7 @@ class CoverageIndex:
         """A copy of the full per-node coverage vector."""
         return self._counts.copy()
 
-    def argmax_node(self) -> Tuple[int, int]:
+    def argmax_node(self) -> tuple[int, int]:
         """The node maximizing ``Lambda_R(v)`` and its coverage.
 
         Ties break toward the smallest node id (NumPy argmax convention),
@@ -276,8 +276,8 @@ class CoverageIndex:
         covered = np.zeros(self._num_sets, dtype=bool)
         node_indptr, node_sets = self._inverted_index()
 
-        selected: List[int] = []
-        marginal: List[int] = []
+        selected: list[int] = []
+        marginal: list[int] = []
         covered_total = 0
         for _ in range(budget):
             if stop_at_coverage is not None and covered_total >= stop_at_coverage:
@@ -313,8 +313,8 @@ class CoverageIndex:
         heap = [(-int(g), v) for v, g in enumerate(self._counts)]
         heapq.heapify(heap)
 
-        selected: List[int] = []
-        marginal: List[int] = []
+        selected: list[int] = []
+        marginal: list[int] = []
         covered_total = 0
         while len(selected) < budget and heap:
             if stop_at_coverage is not None and covered_total >= stop_at_coverage:
@@ -337,7 +337,7 @@ class CoverageIndex:
                 covered_total += gain
         return GreedyCoverResult(selected, covered_total, marginal)
 
-    def _inverted_index(self) -> Tuple[np.ndarray, np.ndarray]:
+    def _inverted_index(self) -> tuple[np.ndarray, np.ndarray]:
         """CSR-style node -> set-id index built on demand."""
         if self._num_sets == 0:
             return np.zeros(self.n + 1, dtype=np.int64), np.empty(0, dtype=np.int64)

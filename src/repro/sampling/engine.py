@@ -27,7 +27,7 @@ against.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -58,7 +58,7 @@ class RootDrawer(abc.ABC):
     @abc.abstractmethod
     def draw(
         self, rng: np.random.Generator, count: int
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Roots for ``count`` samples as a CSR ``(roots, indptr)`` pair.
 
         Each sample's roots must be distinct node ids; ``indptr`` has
@@ -76,7 +76,7 @@ class UniformRootDrawer(RootDrawer):
 
     def draw(
         self, rng: np.random.Generator, count: int
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray]:
         roots = rng.integers(self.n, size=count, dtype=np.int64)
         return roots, np.arange(count + 1, dtype=np.int64)
 
@@ -97,7 +97,7 @@ class RandomizedRoundingRootDrawer(RootDrawer):
 
     def draw(
         self, rng: np.random.Generator, count: int
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray]:
         ks = np.full(count, self.rule.k_low, dtype=np.int64)
         if self.rule.fraction > 0.0:
             ks += rng.random(count) < self.rule.fraction
@@ -203,8 +203,8 @@ class BatchSampler:
         roots: RootDrawer,
         seed: RandomSource = None,
         batch_size: Optional[int] = None,
-        runtime: "Optional[ParallelRuntime]" = None,
-        context: "Optional[ExecutionContext]" = None,
+        runtime: Optional[ParallelRuntime] = None,
+        context: Optional[ExecutionContext] = None,
     ):
         if graph.n < 1:
             raise SamplingError("cannot sample reverse sets on an empty graph")
@@ -245,7 +245,7 @@ class BatchSampler:
         # batched analogue of the scalar samplers' pooled scratch.
         self._scratch: np.ndarray = None
 
-    def sample_batch(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+    def sample_batch(self, count: int) -> tuple[np.ndarray, np.ndarray]:
         """Generate ``count`` reverse samples in one engine call.
 
         Returns the CSR-packed ``(members, indptr)`` pair produced by the
@@ -256,7 +256,7 @@ class BatchSampler:
 
     def _sample_batch_counted(
         self, count: int
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """:meth:`sample_batch` plus the per-sample root counts.
 
         The root counts feed the adaptive engine's cross-round pool
@@ -328,7 +328,7 @@ class BatchSampler:
         """
         from repro.parallel.tasks import sample_chunk, worker_sample_chunk
 
-        chunks: List[int] = []
+        chunks: list[int] = []
         remaining = count
         while remaining > 0:
             step = min(remaining, self.batch_size)
@@ -372,8 +372,8 @@ def rr_batch_sampler(
     model: DiffusionModel,
     seed: RandomSource = None,
     batch_size: Optional[int] = None,
-    runtime: "Optional[ParallelRuntime]" = None,
-    context: "Optional[ExecutionContext]" = None,
+    runtime: Optional[ParallelRuntime] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> BatchSampler:
     """Engine for single-root RR pools."""
     return BatchSampler(
@@ -388,8 +388,8 @@ def mrr_batch_sampler(
     rule: RootCountRule,
     seed: RandomSource = None,
     batch_size: Optional[int] = None,
-    runtime: "Optional[ParallelRuntime]" = None,
-    context: "Optional[ExecutionContext]" = None,
+    runtime: Optional[ParallelRuntime] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> BatchSampler:
     """Engine for multi-root mRR pools under a root-count rule."""
     return BatchSampler(

@@ -21,7 +21,8 @@ bounds (the Remark after Corollary 3.4; reproduced as an ablation bench).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -48,7 +49,7 @@ class RootCountRule:
     n: int
 
     @classmethod
-    def for_target(cls, n: int, eta: int) -> "RootCountRule":
+    def for_target(cls, n: int, eta: int) -> RootCountRule:
         """Build the rule with ``E[k] = n / eta`` (paper Theorem 3.3).
 
         In round ``i`` callers pass the residual values ``n_i`` and
@@ -64,7 +65,7 @@ class RootCountRule:
         return cls(k_low=k_low, fraction=fraction, n=n)
 
     @classmethod
-    def fixed(cls, k: int, n: int) -> "RootCountRule":
+    def fixed(cls, k: int, n: int) -> RootCountRule:
         """Degenerate rule that always draws exactly ``k`` roots.
 
         Used by the rounding ablation and to recover vanilla RR sets
@@ -79,7 +80,7 @@ class RootCountRule:
         """``E[k]``."""
         return self.k_low + self.fraction
 
-    def support(self) -> Tuple[int, ...]:
+    def support(self) -> tuple[int, ...]:
         """The root counts this rule can produce, after clamping to [1, n].
 
         ``(k_low,)`` for a degenerate rule, ``(k_low, k_low + 1)``
@@ -244,7 +245,7 @@ class MRRCollection:
         self._root_counts = np.asarray(root_counts, dtype=np.int64).copy()
         self._adopted = len(root_counts)
 
-    def export_carry(self, residual: ResidualGraph) -> "CarriedMRRPool":
+    def export_carry(self, residual: ResidualGraph) -> CarriedMRRPool:
         """Snapshot the pool in *original* node ids for the next round.
 
         ``residual`` must be the residual graph this pool was sampled on;
@@ -320,7 +321,7 @@ class CarriedMRRPool:
 
     def revalidate(
         self, residual: ResidualGraph
-    ) -> Tuple[Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]], CarryDiagnostics]:
+    ) -> tuple[Optional[tuple[np.ndarray, np.ndarray, np.ndarray]], CarryDiagnostics]:
         """Filter the pool against a new residual graph and shortfall.
 
         Returns ``((members_local, indptr, root_counts), diagnostics)``
@@ -385,7 +386,7 @@ def build_round_pool(
     carry: Optional[CarriedMRRPool] = None,
     runtime=None,
     context=None,
-) -> Tuple[MRRCollection, CarryDiagnostics]:
+) -> tuple[MRRCollection, CarryDiagnostics]:
     """One round's mRR pool, optionally pre-loaded from the previous round.
 
     The shared prologue of TRIM and TRIM-B with pool reuse enabled: build

@@ -46,7 +46,6 @@ import os
 import signal
 import time
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 
@@ -78,7 +77,7 @@ class FaultInjection:
 
     kind: str
     nth: int = 0
-    attempts: Tuple[int, ...] = (0,)
+    attempts: tuple[int, ...] = (0,)
     hang_seconds: float = 600.0
 
     def __post_init__(self) -> None:

@@ -10,7 +10,7 @@ NumPy's recommended ``SeedSequence.spawn`` pattern.
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import Union
 
 import numpy as np
 
@@ -37,7 +37,7 @@ def as_generator(seed: RandomSource = None) -> np.random.Generator:
 
 def spawn_seed_sequences(
     seed: RandomSource, count: int
-) -> List[np.random.SeedSequence]:
+) -> list[np.random.SeedSequence]:
     """Derive ``count`` independent child :class:`~numpy.random.SeedSequence`.
 
     The picklable half of :func:`spawn_generators`: the parallel runtime
@@ -61,7 +61,7 @@ def spawn_seed_sequences(
     return list(np.random.SeedSequence(seed).spawn(count))
 
 
-def spawn_generators(seed: RandomSource, count: int) -> List[np.random.Generator]:
+def spawn_generators(seed: RandomSource, count: int) -> list[np.random.Generator]:
     """Derive ``count`` statistically independent generators from ``seed``.
 
     Used by the experiment harness to give each sampled realization its own

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -49,7 +49,7 @@ def summarize(values: Sequence[float]) -> SummaryStats:
 
 def mean_confidence_interval(
     values: Sequence[float], confidence: float = 0.95
-) -> Tuple[float, float, float]:
+) -> tuple[float, float, float]:
     """Return ``(mean, low, high)`` via a normal approximation.
 
     For the 20-realization samples used throughout the experiments a normal

@@ -36,7 +36,7 @@ class Stopwatch:
     def running(self) -> bool:
         return self._started_at is not None
 
-    def start(self) -> "Stopwatch":
+    def start(self) -> Stopwatch:
         if self._started_at is not None:
             raise RuntimeError("stopwatch already running")
         self._started_at = time.perf_counter()
@@ -53,7 +53,7 @@ class Stopwatch:
         self._elapsed = 0.0
         self._started_at = None
 
-    def __enter__(self) -> "Stopwatch":
+    def __enter__(self) -> Stopwatch:
         return self.start()
 
     def __exit__(self, exc_type, exc, tb) -> None:

@@ -71,7 +71,7 @@ def test_induced_subgraph_preserves_kept_edges(graph, data):
     sub, kept_ids = graph.induced_subgraph(keep)
     assert sub.n == int(keep.sum())
     # Every surviving edge maps to an original edge between kept nodes.
-    for u, v, p in sub.edges():
+    for u, v, _p in sub.edges():
         assert graph.has_edge(int(kept_ids[u]), int(kept_ids[v]))
     # Edge count equals original edges with both endpoints kept.
     src, dst, _ = graph.edge_arrays()

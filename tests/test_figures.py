@@ -24,7 +24,7 @@ class TestTable2:
 class TestFigure3:
     def test_distributions_sum_to_one(self, small_overrides):
         dists = figures.figure3(names=list(small_overrides), n_override=small_overrides)
-        for name, dist in dists.items():
+        for _name, dist in dists.items():
             assert sum(dist.values()) == pytest.approx(1.0)
 
     def test_heavy_tail_present(self, small_overrides):
