@@ -1,0 +1,98 @@
+"""One complete session against the always-on seed-selection service.
+
+Starts ``python -m repro serve`` as a subprocess, walks through the
+wire protocol — health, a cold and a warm estimate (the warm one adopts
+the cached mRR pool), an over-deadline request answered with a typed
+``deadline_exceeded`` — and finishes with the robustness finale: SIGTERM
+while a request is in flight, which must still deliver that reply
+before the server drains and exits 0.
+
+Run::
+
+    python examples/service_session.py
+"""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+ESTIMATE = {
+    "op": "estimate", "id": "cold", "seed": 7,
+    "params": {
+        "dataset": "nethept-sim", "n": 300, "eta": 30,
+        "seeds": [0, 3, 7], "theta": 1000,
+    },
+}
+
+
+def start_server() -> "tuple[subprocess.Popen, int]":
+    env = dict(os.environ)
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env["PYTHONPATH"] = os.path.join(repo, "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    # The first stdout line announces the bound port.
+    banner = process.stdout.readline()
+    match = re.search(r"listening on [\d.]+:(\d+)", banner)
+    if not match:
+        process.kill()
+        raise RuntimeError(f"unexpected banner: {banner!r}")
+    return process, int(match.group(1))
+
+
+def main() -> None:
+    process, port = start_server()
+    print(f"server up on port {port}")
+    conn = socket.create_connection(("127.0.0.1", port), timeout=120)
+    wire = conn.makefile("rwb")
+
+    def request(payload):
+        wire.write(json.dumps(payload).encode() + b"\n")
+        wire.flush()
+        return json.loads(wire.readline())
+
+    try:
+        health = request({"op": "health", "id": "h1"})
+        print(f"health: {health['result']['status']}")
+
+        cold = request(ESTIMATE)
+        print(f"cold estimate: {cold['result']['estimate']} "
+              f"({cold['ms']:.0f}ms, carry={cold['meta']['carry']})")
+
+        warm = request(dict(ESTIMATE, id="warm"))
+        assert warm["result"] == cold["result"], "warm run must be bit-identical"
+        print(f"warm estimate: {warm['result']['estimate']} "
+              f"({warm['ms']:.0f}ms, carry={warm['meta']['carry']})")
+
+        late = request(dict(ESTIMATE, id="late", deadline_ms=0))
+        print(f"deadline_ms=0 -> {late['error']['code']} "
+              f"(stage={late['error']['stage']})")
+
+        # The finale: fire a request, SIGTERM the server while it runs,
+        # and still collect the reply before the socket closes.
+        wire.write(json.dumps(dict(ESTIMATE, id="inflight")).encode() + b"\n")
+        wire.flush()
+        time.sleep(0.05)  # repro-lint: disable=REP007 -- let the line reach admission
+        process.send_signal(signal.SIGTERM)
+        inflight = json.loads(wire.readline())
+        assert inflight["ok"], f"in-flight request lost in drain: {inflight}"
+        print(f"SIGTERM mid-request: reply '{inflight['id']}' still delivered")
+
+        code = process.wait(timeout=60)
+        assert code == 0, f"server exited {code}"
+        print("server drained and exited 0")
+    finally:
+        conn.close()
+        if process.poll() is None:
+            process.kill()
+
+
+if __name__ == "__main__":
+    main()

@@ -6,9 +6,12 @@ Exposes the library's main workflows without writing Python::
     repro solve --dataset nethept-sim --eta 120  # one adaptive run
     repro sweep --dataset nethept-sim --model IC --out-csv runs.csv
     repro estimate --dataset nethept-sim --eta 50 --seeds 0,3,7
+    repro serve --port 7411 --jobs 4              # the always-on service
 
 Every subcommand accepts ``--seed`` for bit-reproducible runs and prints
 plain text suitable for piping into files or diffing across machines.
+Ctrl-C exits with status 130 after tearing down worker pools and shared
+memory (``serve`` first drains its in-flight requests).
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from repro.parallel.runtime import POOL_FAILURE_MODES, FaultPolicy
 from repro.runtime.context import ExecutionContext
 from repro.sampling.engine import DEFAULT_BATCH_SIZE
 from repro.sampling.mrr import estimate_truncated_spread_mrr
+from repro.service.cache import DEFAULT_CACHE_BYTES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -176,6 +180,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel_argument(estimate)
     _add_fault_arguments(estimate)
     estimate.add_argument("--seed", type=int, default=0)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the always-on seed-selection service (NDJSON over TCP "
+        "or stdio; see repro.service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks an ephemeral port, announced on startup)",
+    )
+    serve.add_argument(
+        "--stdio", action="store_true",
+        help="serve one NDJSON session on stdin/stdout instead of TCP",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes shared across requests (1 = in-process; "
+        "responses are bit-identical for any value)",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=4,
+        help="requests computing concurrently; more wait in the queue",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=16,
+        help="admitted requests allowed to wait beyond --max-in-flight; "
+        "past that a request gets a typed 'overloaded' reply",
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=DEFAULT_CACHE_BYTES,
+        help="LRU byte budget for cached graphs and warm mRR pools",
+    )
+    serve.add_argument(
+        "--quarantine-seconds", type=float, default=30.0,
+        help="cooldown before rebuilding a worker pool that exhausted "
+        "its fault budgets (requests run in-process meanwhile)",
+    )
+    _add_kernel_argument(serve)
+    _add_fault_arguments(serve)
     return parser
 
 
@@ -432,11 +476,38 @@ def _estimate_with_context(args, out, graph, model, seeds, context) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from repro.service.server import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        stdio=args.stdio,
+        jobs=args.jobs,
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+        cache_bytes=args.cache_bytes,
+        quarantine_seconds=args.quarantine_seconds,
+        kernel_backend=args.kernel_backend,
+        fault_policy=FaultPolicy(
+            chunk_timeout=args.chunk_timeout,
+            max_retries=args.max_retries,
+            on_pool_failure=args.on_pool_failure,
+        ),
+    )
+    # In stdio mode stdout carries the NDJSON replies, so the startup
+    # banner must go to stderr; in TCP mode it goes to ``out`` where a
+    # parent process can parse the announced port.
+    log = sys.stderr if args.stdio else out
+    return run_service(config, log=log)
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "solve": _cmd_solve,
     "sweep": _cmd_sweep,
     "estimate": _cmd_estimate,
+    "serve": _cmd_serve,
 }
 
 
@@ -447,6 +518,13 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args, out)
+    except KeyboardInterrupt:
+        # Ctrl-C: the command's context managers / the service's drain
+        # path have already released worker pools and shared memory on
+        # the way out; exit with the conventional SIGINT status, no
+        # traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -18,6 +18,9 @@ REP005   paired-shm-release    ad-hoc shm publications cannot leak their
                                release closure to an exception
 REP006   policy-via-context    engine policy stays in ExecutionContext
                                (no per-knob parameter chains regrowing)
+REP007   no-bare-sleep         blocking sleeps route through the sanctioned
+                               backoff helper; async code never blocks the
+                               event loop (await asyncio.sleep)
 =======  ====================  ==============================================
 
 Adding a rule: subclass :class:`~repro.devtools.rules.base.Rule` in a
@@ -38,6 +41,7 @@ from repro.devtools.rules.determinism import (
 )
 from repro.devtools.rules.kernels import NjitSafeKernelRule
 from repro.devtools.rules.policy import ContextPolicyRule
+from repro.devtools.rules.sleeps import BlockingSleepRule
 
 #: Every registered rule, in code order.
 ALL_RULES: tuple[Rule, ...] = (
@@ -47,6 +51,7 @@ ALL_RULES: tuple[Rule, ...] = (
     NjitSafeKernelRule(),
     PairedReleaseRule(),
     ContextPolicyRule(),
+    BlockingSleepRule(),
 )
 
 __all__ = [

@@ -69,6 +69,7 @@ from repro.parallel.shm import (
     share_realizations,
     sweep_orphans,
 )
+from repro.utils.timing import Deadline, backoff_sleep
 from repro.utils.validation import (
     check_optional_positive_int,
     check_positive_float,
@@ -528,8 +529,12 @@ class ParallelRuntime:
                 head += 1
                 continue
             error: Optional[BaseException] = None
+            # One Deadline per wait: the head chunk gets the policy's full
+            # budget each attempt, measured on the same monotonic clock
+            # the service layer's request deadlines use.
+            wait = Deadline.after(policy.chunk_timeout)
             try:
-                results[head] = futures[head].result(timeout=policy.chunk_timeout)
+                results[head] = futures[head].result(timeout=wait.remaining())
                 done[head] = True
                 head += 1
                 continue
@@ -557,10 +562,7 @@ class ParallelRuntime:
                         degraded = True
                         continue
                     self._faults["retries"] += 1
-                    if policy.backoff_base > 0.0:
-                        time.sleep(
-                            policy.backoff_base * 2 ** (attempts[head] - 1)
-                        )
+                    backoff_sleep(policy.backoff_base, attempts[head])
                     futures[head] = self._submit(
                         executor, fn, chunk_ids[head], attempts[head],
                         payloads[head],

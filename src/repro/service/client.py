@@ -1,0 +1,138 @@
+"""Blocking NDJSON client and an in-process server harness.
+
+:class:`ServiceClient` speaks the wire protocol over one TCP connection
+— send a request dict, read one reply line — and is what the load
+benchmark, the tests, and the example session all use, so the protocol
+has exactly one client implementation to drift out of sync.
+
+:class:`ServiceThread` runs a :class:`~repro.service.server.SeedService`
+on a daemon thread with its own event loop, exposing the bound port once
+the listener is up.  Tests and benchmarks use it to stand up a real
+server (real sockets, real admission control) inside one process without
+managing a subprocess; ``drain()`` triggers the same drain-then-exit
+path a SIGTERM would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from typing import Any, Optional
+
+from repro.errors import ServiceError
+from repro.service.protocol import MAX_LINE_BYTES
+from repro.service.server import SeedService, ServiceConfig
+
+
+class ServiceClient:
+    """One blocking NDJSON connection to a running service."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request object and block for its reply."""
+        self.send(payload)
+        return self.read_reply()
+
+    def send(self, payload: dict[str, Any]) -> None:
+        self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+
+    def send_raw(self, line: bytes) -> None:
+        """Ship raw bytes (tests exercise malformed lines through this)."""
+        self._sock.sendall(line)
+
+    def read_reply(self) -> dict[str, Any]:
+        line = self._file.readline(MAX_LINE_BYTES * 2)
+        if not line:
+            raise ServiceError("server closed the connection")
+        reply = json.loads(line.decode("utf-8"))
+        if not isinstance(reply, dict):
+            raise ServiceError(f"reply is not an object: {reply!r}")
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> ServiceClient:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ServiceThread:
+    """A real :class:`SeedService` on a background thread.
+
+    ``with ServiceThread(config) as harness:`` yields once the listener
+    is bound; ``harness.port`` is the ephemeral port, ``harness.connect()``
+    returns a fresh :class:`ServiceClient`, and leaving the block drains
+    the server and joins the thread.
+    """
+
+    def __init__(self, config: ServiceConfig, startup_timeout: float = 30.0):
+        if config.stdio:
+            raise ServiceError("ServiceThread drives TCP mode only")
+        self.service = SeedService(config)
+        self._startup_timeout = startup_timeout
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-thread", daemon=True
+        )
+
+    @property
+    def port(self) -> int:
+        port = self.service.port
+        if port is None:
+            raise ServiceError("service is not listening yet")
+        return port
+
+    def start(self) -> ServiceThread:
+        self._thread.start()
+        if not self.service.ready.wait(timeout=self._startup_timeout):
+            raise ServiceError(
+                f"service failed to start within {self._startup_timeout}s"
+            )
+        if self._failure is not None:
+            raise ServiceError("service failed to start") from self._failure
+        return self
+
+    def connect(self, timeout: float = 60.0) -> ServiceClient:
+        return ServiceClient(self.service.config.host, self.port, timeout=timeout)
+
+    def drain(self) -> None:
+        """Trigger drain-then-exit (what SIGTERM does) and join."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self.service.begin_drain)
+        self._thread.join(timeout=self._startup_timeout)
+        if self._thread.is_alive():
+            raise ServiceError("service did not drain in time")
+        if self._failure is not None:
+            raise ServiceError("service crashed") from self._failure
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced by start()/drain()
+            self._failure = exc
+            self.service.ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._loop_ready.set()
+        await self.service.run()
+
+    def __enter__(self) -> ServiceThread:
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.drain()

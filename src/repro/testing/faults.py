@@ -46,13 +46,28 @@ import os
 import signal
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ConfigurationError, TransientWorkerError
 
+if TYPE_CHECKING:
+    from repro.parallel.runtime import ParallelRuntime
+    from repro.sampling.mrr import CarriedMRRPool
+
 #: The injector kinds understood by :func:`run_with_injection`.
 FAULT_KINDS = ("crash", "kill", "hang", "raise", "corrupt")
+
+#: The service-level injector kinds understood by the seed-selection
+#: server (:mod:`repro.service.server`): ``slow_handler`` stalls a
+#: request's compute phase (exercises deadlines and backpressure),
+#: ``pool_kill`` SIGKILLs one live worker of the shared runtime
+#: mid-request (exercises the rebuild/recovery path under load), and
+#: ``cache_corrupt`` tampers with the warm-pool carry offered to a
+#: request (exercises revalidation-as-safe-invalidation plus the circuit
+#: breaker — the response must stay bit-identical anyway).
+SERVICE_FAULT_KINDS = ("slow_handler", "pool_kill", "cache_corrupt")
 
 
 @dataclass(frozen=True)
@@ -135,7 +150,9 @@ def run_with_injection(spec: FaultInjection, index: int, attempt: int, fn, paylo
         if spec.kind == "kill":  # pragma: no cover - kills the worker
             os.kill(os.getpid(), signal.SIGKILL)
         if spec.kind == "hang":
-            time.sleep(spec.hang_seconds)
+            # The injected hang *is* the fault under test, not a delay the
+            # supervisor should be routing through backoff_sleep.
+            time.sleep(spec.hang_seconds)  # repro-lint: disable=REP007 -- injected fault
         elif spec.kind == "raise":
             raise TransientWorkerError(
                 f"injected transient failure on chunk {index} attempt {attempt}"
@@ -144,6 +161,103 @@ def run_with_injection(spec: FaultInjection, index: int, attempt: int, fn, paylo
     if spec.kind == "corrupt" and spec.fires(index, attempt):
         result = _corrupt_result(result)
     return result
+
+
+@dataclass(frozen=True)
+class ServiceFaultInjection:
+    """A deterministic service-level fault at one admitted-request index.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`SERVICE_FAULT_KINDS`.
+    nth:
+        The admitted-request index (0-based, counted across the server's
+        lifetime; ``health`` requests bypass admission and do not count)
+        on which to fire.
+    delay_seconds:
+        Stall length for ``kind="slow_handler"``.
+    """
+
+    kind: str
+    nth: int = 0
+    delay_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVICE_FAULT_KINDS:
+            raise ConfigurationError(
+                f"service fault kind must be one of {SERVICE_FAULT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.nth < 0:
+            raise ConfigurationError(
+                f"fault request index must be >= 0, got {self.nth}"
+            )
+        if not self.delay_seconds >= 0.0:
+            raise ConfigurationError(
+                f"delay_seconds must be >= 0, got {self.delay_seconds}"
+            )
+
+    def fires(self, index: int) -> bool:
+        """Whether the fault triggers for this admitted-request index."""
+        return index == self.nth
+
+
+def service_slow_handler(delay_seconds: float) -> None:
+    """Stall a request's compute phase (worker-thread side).
+
+    Lives here rather than in the service so the one deliberate blocking
+    sleep in the request path is an *injected fault*, clearly marked as
+    such — the service's own async code never blocks (REP007).
+    """
+    # The stall is the fault under test; an async sleep would not occupy
+    # the admission slot the way a genuinely slow handler does.
+    time.sleep(delay_seconds)  # repro-lint: disable=REP007 -- injected fault
+
+
+def kill_one_worker(runtime: ParallelRuntime) -> int:
+    """SIGKILL one live worker process of ``runtime``; returns its pid.
+
+    Indistinguishable from the OOM killer taking a worker mid-request.
+    Returns 0 when the runtime has no live worker to kill (not parallel,
+    pool not started yet, or all workers already dead) — the injection is
+    then a no-op and the request proceeds normally.
+    """
+    executor = runtime._state.get("executor")
+    if executor is None:
+        return 0
+    for process in list((getattr(executor, "_processes", None) or {}).values()):
+        if process.is_alive() and process.pid:
+            os.kill(process.pid, signal.SIGKILL)
+            return int(process.pid)
+    return 0
+
+
+def corrupt_carried_pool(pool: CarriedMRRPool) -> CarriedMRRPool:
+    """A tampered copy of a cached pool snapshot (detectably invalid).
+
+    The first set's root count is pushed far outside any
+    :class:`~repro.sampling.mrr.RootCountRule` support, so
+    :meth:`~repro.sampling.mrr.CarriedMRRPool.revalidate` must reject at
+    least that set — the estimate handler then discards the whole carry
+    and rebuilds from scratch, keeping the response bit-identical to a
+    cold run.  A corruption the revalidation machinery could *not* catch
+    (silently perturbing a member to another valid id) is deliberately
+    not offered here: cached pools are trusted snapshots guarded by the
+    breaker, and the chaos gate's job is to prove the safe-invalidation
+    path fires, not to defeat it.
+    """
+    from repro.sampling.mrr import CarriedMRRPool
+
+    if len(pool) == 0:
+        return pool
+    root_counts = pool.root_counts.copy()
+    root_counts[0] = np.iinfo(np.int64).max // 2
+    return CarriedMRRPool(
+        members=pool.members,
+        indptr=pool.indptr,
+        root_counts=root_counts,
+    )
 
 
 def echo_chunk(value):

@@ -142,3 +142,38 @@ class TestJobsFlag:
         _, one = run_cli(argv + ["--jobs", "1"])
         _, two = run_cli(argv + ["--jobs", "2"])
         assert one == two
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.stdio is False
+        assert args.jobs == 1
+        assert args.max_in_flight == 4
+        assert args.max_queue == 16
+        assert args.kernel_backend == "auto"
+        assert args.on_pool_failure == "degrade"
+
+    def test_bad_config_rejected_cleanly(self, capsys):
+        code, _ = run_cli(["serve", "--max-in-flight", "0"])
+        assert code == 2
+        assert "max_in_flight" in capsys.readouterr().err
+
+
+class TestKeyboardInterrupt:
+    def test_exit_130_no_traceback(self, monkeypatch, capsys):
+        # Ctrl-C anywhere inside a command must exit with the SIGINT
+        # convention (128 + 2) and a one-line notice, never a traceback.
+        from repro import cli
+
+        def interrupted(args, out):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._COMMANDS, "datasets", interrupted)
+        code, _ = run_cli(["datasets"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "Traceback" not in err

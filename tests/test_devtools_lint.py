@@ -304,6 +304,70 @@ def test_resolve_context_deprecation_warning_names_rep006(ic_model):
 
 
 # ----------------------------------------------------------------------
+# REP007 — no bare blocking sleeps
+# ----------------------------------------------------------------------
+
+
+def test_rep007_flags_bare_time_sleep():
+    src = "import time\n\ndef wait():\n    time.sleep(1.0)\n"
+    assert codes(src) == ["REP007"]
+
+
+def test_rep007_flags_aliased_and_from_imports():
+    aliased = "import time as t\n\ndef wait():\n    t.sleep(0.5)\n"
+    assert codes(aliased) == ["REP007"]
+    from_import = "from time import sleep as snooze\n\ndef wait():\n    snooze(2)\n"
+    assert codes(from_import) == ["REP007"]
+
+
+def test_rep007_flags_blocking_sleeps_in_async_code():
+    # Both a bare time.sleep and the otherwise-sanctioned backoff helper
+    # block the event loop inside an async def; the hint says to await
+    # asyncio.sleep instead.
+    blocking = (
+        "import time\n"
+        "from repro.utils.timing import backoff_sleep\n\n"
+        "async def handler():\n"
+        "    time.sleep(0.1)\n"
+        "    backoff_sleep(0.1, 1)\n"
+    )
+    findings = lint(blocking, "src/repro/service/example.py")
+    assert [f.code for f in findings] == ["REP007", "REP007"]
+    assert "event loop" in findings[1].message
+
+
+def test_rep007_accepts_async_sleep_and_backoff_helper():
+    src = (
+        "import asyncio\n"
+        "from repro.utils.timing import backoff_sleep\n\n"
+        "async def handler():\n"
+        "    await asyncio.sleep(0.1)\n\n"
+        "def retry():\n"
+        "    backoff_sleep(0.1, 1)\n"
+    )
+    assert codes(src, "src/repro/service/example.py") == []
+
+
+def test_rep007_sync_def_inside_async_def_is_sync():
+    # A nested sync def is executor-bound work, not loop code.
+    src = (
+        "import time\n\n"
+        "async def handler():\n"
+        "    def compute():\n"
+        "        time.sleep(0.01)\n"
+        "    return compute\n"
+    )
+    findings = lint(src)
+    assert [f.code for f in findings] == ["REP007"]
+    assert "library code" in findings[0].message
+
+
+def test_rep007_exempts_the_timing_module():
+    src = "import time\n\ndef backoff_sleep(base, attempt):\n    time.sleep(base)\n"
+    assert codes(src, "src/repro/utils/timing.py") == []
+
+
+# ----------------------------------------------------------------------
 # Suppression pragmas
 # ----------------------------------------------------------------------
 

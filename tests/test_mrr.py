@@ -254,3 +254,46 @@ class TestCarriedPool:
         pool.grow_to(len(collection) + 25)
         assert pool.fresh_count == 25
         assert len(pool.root_counts) == len(pool)
+
+    # -- Cross-request reuse (the service's warm-pool cache) -----------
+
+    def test_cross_request_regime_shift_falls_back(self, small_social, ic_model):
+        # A pool built for one request's eta offered to a request whose
+        # eta puts the root-count rule on a disjoint support: eta=n wants
+        # single-root sets, eta=1 wants n-root sets.  Revalidation must
+        # fall back to a scratch build, never adopt off-support sets.
+        n = small_social.n
+        residual_a, collection = self._pool(small_social, ic_model, eta=n)
+        carry = collection.export_carry(residual_a)
+        residual_b = initial_residual(small_social, 1)
+        assert not set(
+            RootCountRule.for_target(residual_b.n, residual_b.shortfall).support()
+        ) & set(np.unique(carry.root_counts))
+        kept, diagnostics = carry.revalidate(residual_b)
+        assert kept is None
+        assert "regime" in diagnostics.fallback
+        assert diagnostics.sets_carried == 0
+
+    def test_emptied_pool_reenters_cleanly(self, small_social, ic_model):
+        # An empty carry (every set invalidated in an earlier request, or
+        # a fresh key) must re-enter the adopt/grow/export cycle without
+        # special-casing: adoption is a no-op and the next export is a
+        # full-strength carry again.
+        residual = initial_residual(small_social, 12)
+        empty = MRRCollection(small_social, ic_model, 12, seed=4)
+        carry = empty.export_carry(residual)
+        kept, diagnostics = carry.revalidate(residual)
+        assert kept is not None
+        assert diagnostics.sets_offered == 0
+        assert diagnostics.sets_carried == 0
+        assert diagnostics.fallback is None
+        fresh = MRRCollection(small_social, ic_model, 12, seed=4)
+        fresh.adopt(*kept)
+        assert fresh.adopted_count == 0
+        fresh.grow_to(40)
+        assert fresh.fresh_count == 40
+        next_carry = fresh.export_carry(residual)
+        kept_again, diagnostics_again = next_carry.revalidate(residual)
+        assert kept_again is not None
+        assert diagnostics_again.sets_carried == 40
+        assert diagnostics_again.fallback is None

@@ -19,7 +19,7 @@ from repro.utils.rng import (
     spawn_seed_sequences,
 )
 from repro.utils.stats import mean_confidence_interval, summarize
-from repro.utils.timing import Stopwatch, format_seconds
+from repro.utils.timing import Deadline, Stopwatch, backoff_sleep, format_seconds
 from repro.utils.validation import (
     check_fraction,
     check_positive_int,
@@ -141,6 +141,69 @@ class TestStopwatch:
             pass
         sw.reset()
         assert sw.elapsed == 0.0
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        deadline = Deadline.after(None)
+        assert deadline.unbounded
+        assert deadline.remaining() is None
+        assert not deadline.expired
+
+    def test_remaining_counts_down(self):
+        deadline = Deadline.after(60.0)
+        remaining = deadline.remaining()
+        assert remaining is not None
+        assert 0.0 < remaining <= 60.0
+        assert not deadline.expired
+
+    def test_zero_budget_expires_immediately(self):
+        deadline = Deadline.after(0.0)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_remaining_clamped_at_zero(self):
+        deadline = Deadline.after(0.0)
+        time.sleep(0.002)
+        assert deadline.remaining() == 0.0
+
+    def test_rejects_bad_budgets(self):
+        with pytest.raises(ConfigurationError):
+            Deadline.after(-1.0)
+        with pytest.raises(ConfigurationError):
+            Deadline.after(True)
+        with pytest.raises(ConfigurationError):
+            Deadline.after("soon")
+
+    def test_frozen(self):
+        deadline = Deadline.after(1.0)
+        with pytest.raises(AttributeError):
+            deadline.expires_at = 0.0
+
+
+class TestBackoffSleep:
+    def test_exponential_schedule(self):
+        # base * 2**(attempt-1); a zero base returns without sleeping.
+        assert backoff_sleep(0.0, 1) == 0.0
+        assert backoff_sleep(0.0, 5) == 0.0
+        assert backoff_sleep(0.001, 1) == pytest.approx(0.001)
+        assert backoff_sleep(0.001, 3) == pytest.approx(0.004)
+
+    def test_actually_sleeps(self):
+        start = time.perf_counter()
+        delay = backoff_sleep(0.01, 2)
+        assert delay == pytest.approx(0.02)
+        assert time.perf_counter() - start >= 0.02
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            backoff_sleep(-0.1, 1)
+        with pytest.raises(ConfigurationError):
+            backoff_sleep(0.1, 0)
+        with pytest.raises(ConfigurationError):
+            backoff_sleep(0.1, True)
+        with pytest.raises(ConfigurationError):
+            backoff_sleep(0.1, 1.5)
 
 
 class TestFormatSeconds:
