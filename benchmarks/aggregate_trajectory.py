@@ -18,6 +18,15 @@ The output shape is::
       "latest": {"sampler_batching": { ...last entry... }, ...}
     }
 
+The merged view is **deduplicated**: repeated runs of the same
+configuration (same graph size, worker count, host CPU count, profile
+knobs — the :data:`IDENTITY_KEYS`) keep only the latest entry, so
+re-running a gate locally a dozen times does not drown the trajectory in
+near-identical rows.  Entries are then stable-sorted by timestamp (ties
+keep append order), so interleaved histories from different machines
+merge chronologically.  The per-gate files under ``results/`` keep the
+full append-only history; only this merged view is pruned.
+
 CI runs it right after the gates, so the uploaded artifact (and any commit
 of the results directory) always carries the merged view alongside the
 per-gate files.
@@ -33,6 +42,70 @@ from pathlib import Path
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_trajectory.json"
 
+#: Fields that identify a benchmark *configuration* (as opposed to its
+#: measurements): two entries agreeing on every present identity key are
+#: the same experiment re-run, and only the latest is kept.  Measurement
+#: fields (rates, speedups, seconds) and the timestamp never participate,
+#: so a re-run with different numbers still deduplicates.
+IDENTITY_KEYS = (
+    "graph_n",
+    "graph_m",
+    "jobs",
+    "cpus",
+    "profile",
+    "pool_sets",
+    "crn_jobs",
+    "batch_sizes",
+    "backend",
+    "seed",
+)
+
+
+def entry_identity(entry: object):
+    """The configuration key of one entry, or ``None`` if anonymous.
+
+    Anonymous entries (non-dict rows, or dicts carrying none of the
+    identity fields) are never deduplicated — without a configuration to
+    compare, "same experiment" is undecidable and dropping data would be
+    worse than keeping a duplicate.
+    """
+    if not isinstance(entry, dict):
+        return None
+    present = [key for key in IDENTITY_KEYS if key in entry]
+    if not present:
+        return None
+    return tuple(
+        (key, json.dumps(entry[key], sort_keys=True, default=str))
+        for key in present
+    )
+
+
+def dedupe_history(history: list) -> list:
+    """Keep the latest entry per configuration; stable-sort by timestamp.
+
+    "Latest" is by append order (the recorders only ever append), which
+    also resolves entries with equal or missing timestamps.  The sort is
+    stable on (timestamp, original position), so a merged view of runs
+    from several machines reads chronologically without reshuffling
+    same-second neighbors.
+    """
+    latest: dict = {}
+    anonymous = []
+    for position, entry in enumerate(history):
+        identity = entry_identity(entry)
+        if identity is None:
+            anonymous.append((position, entry))
+        else:
+            latest[identity] = (position, entry)
+    kept = list(latest.values()) + anonymous
+
+    def sort_key(pair):
+        position, entry = pair
+        stamp = entry.get("timestamp", "") if isinstance(entry, dict) else ""
+        return (str(stamp), position)
+
+    return [entry for _, entry in sorted(kept, key=sort_key)]
+
 
 def aggregate(results_dir: Path = RESULTS_DIR) -> dict:
     """Fold every ``results/*.json`` history list into one document."""
@@ -41,7 +114,7 @@ def aggregate(results_dir: Path = RESULTS_DIR) -> dict:
         history = json.loads(path.read_text(encoding="utf-8"))
         if not isinstance(history, list):
             history = [history]
-        gates[path.stem] = history
+        gates[path.stem] = dedupe_history(history)
     return {
         "gates": gates,
         "entry_counts": {name: len(history) for name, history in gates.items()},

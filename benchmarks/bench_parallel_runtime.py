@@ -146,6 +146,30 @@ def measure_pool(graph, model, profile, jobs, seed=0):
     }
 
 
+def measure_relabeled(graph, profile, jobs, seed=0):
+    """Stress the pool fan-out on a degree-relabeled copy of the graph.
+
+    ``DiGraph.relabeled()`` packs the hubs into a compact id prefix; this
+    case re-runs the gated pool measurement on that copy, so the
+    worker-count-invariance bar (jobs=N bit-identical to jobs=1) is
+    exercised under a node numbering whose chunk contents differ
+    completely from the canonical graph's.  The relabeled graph must also
+    be verifiably the same graph: same edge count, storage policy
+    inherited, and ids actually sorted by descending total degree.
+    """
+    relabeled, order = graph.relabeled()
+    degrees = relabeled.in_degrees() + relabeled.out_degrees()
+    case = measure_pool(relabeled, IndependentCascade(), profile, jobs, seed)
+    case["bit_identical"] = bool(
+        case["bit_identical"]
+        and relabeled.m == graph.m
+        and relabeled.storage == graph.storage
+        and np.array_equal(np.sort(order), np.arange(graph.n))
+        and bool(np.all(degrees[:-1] >= degrees[1:]))
+    )
+    return case
+
+
 def measure_crn(graph, model, profile, jobs, seed=0):
     candidates = [[int(v)] for v in range(profile["crn_candidates"])]
     kwargs = dict(
@@ -271,6 +295,7 @@ def measure(profile: dict, jobs: int, seed: int = 0) -> dict:
         cases[f"pool/{model.name}-mrr"] = measure_pool(
             graph, model, profile, jobs, seed
         )
+    cases["pool/IC-relabeled"] = measure_relabeled(graph, profile, jobs, seed)
     cases["crn/IC"] = measure_crn(graph, IndependentCascade(), profile, jobs, seed)
     harness = measure_harness(profile, jobs, seed)
     storage = measure_storage(profile, seed)

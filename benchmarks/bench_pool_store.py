@@ -1,0 +1,409 @@
+"""Persistent pool store: warm-run speedups with bit-identity bars.
+
+Measures the content-addressed artifact store (:mod:`repro.store`) on the
+three consumers it accelerates, each as a cold-vs-warm pair over the same
+store directory:
+
+* **pool** — (m)RR pool generation: a cold ``BatchSampler.fill`` populates
+  the store; a fresh sampler with the identical recipe replays it from
+  disk.  The warm pool (members, indptr, root counts) must be
+  byte-for-byte the cold pool, and a post-fill probe draw must match —
+  the restored generator state is part of the artifact;
+* **crn** — common-random-number world generation:
+  ``CRNSpreadEvaluator`` construction cold vs warm, with the full
+  candidate x world spread matrix compared bit-for-bit;
+* **sweep** — an end-to-end ``run_sweep``: cold, warm, and store-less
+  runs must select identical per-eta seed counts (the store may only
+  change *when* sampling is paid, never *what* is sampled).
+
+The gate: every warm leg at least ``--min-warm-speedup`` (default 5x)
+over its cold leg, and every bit-identity flag true.  A fourth,
+ungated-by-speedup **planner** leg measures a small ``sample_batch_size``
+grid, feeds the timings to the execution planner as a calibration table,
+and requires the planned pick to be within 10% of the best measured grid
+point (on the recorded timings, so the bar is deterministic).
+
+Results append to ``benchmarks/results/pool_store.json``.  Run::
+
+    python benchmarks/bench_pool_store.py                 # full profile
+    python benchmarks/bench_pool_store.py --quick --gate   # CI profile
+
+or through pytest (quick profile), which always asserts the bit-identity
+bars and asserts the warm-speedup bar when the cold legs are slow enough
+to measure reliably.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.diffusion.ic import IndependentCascade
+from repro.diffusion.montecarlo import CRNSpreadEvaluator
+from repro.experiments.config import quick_config
+from repro.experiments.harness import run_sweep
+from repro.graph import generators, weighting
+from repro.runtime.context import ExecutionContext
+from repro.runtime.planner import (
+    CalibrationEntry,
+    CalibrationTable,
+    graph_stats,
+    plan,
+)
+from repro.sampling.coverage import CoverageIndex
+from repro.sampling.engine import mrr_batch_sampler
+from repro.sampling.mrr import RootCountRule
+from repro.store import PoolStore
+
+RESULTS_PATH = Path(__file__).resolve().parent / "results" / "pool_store.json"
+
+FULL = {
+    "graph_n": 10_000,
+    "pool_sets": 4_000,
+    "batch_size": 256,
+    "eta_fraction": 0.1,
+    "crn_candidates": 64,
+    "crn_worlds": 600,
+    "sweep_n": 600,
+    "sweep_realizations": 4,
+    "planner_batches": (64, 256, 1024),
+    "planner_eta_fraction": 0.1,
+}
+QUICK = {
+    "graph_n": 4_000,
+    "pool_sets": 2_000,
+    "batch_size": 256,
+    "eta_fraction": 0.1,
+    "crn_candidates": 32,
+    "crn_worlds": 400,
+    "sweep_n": 400,
+    "sweep_realizations": 3,
+    "planner_batches": (64, 256, 1024),
+    "planner_eta_fraction": 0.1,
+}
+
+#: A warm run is a digest-verified disk read where the cold run is a full
+#: reverse-sampling (or forward-cascade) generation pass; 5x is a loose
+#: floor for any graph big enough that the cold leg is measurable.
+DEFAULT_MIN_WARM_SPEEDUP = 5.0
+
+#: The planner leg's bar: the planned knob combination's *recorded*
+#: seconds must be within this factor of the best recorded grid point.
+PLANNER_MAX_RATIO = 1.10
+
+#: Cold legs faster than this are timer noise, not workloads; the pytest
+#: entry skips the speedup assertion (never the bit-identity bars) there.
+MIN_MEASURABLE_COLD_SECONDS = 0.05
+
+
+def build_graph(n: int, seed: int = 0):
+    topology = generators.preferential_attachment(n, 3, seed=seed, directed=False)
+    return weighting.weighted_cascade(topology)
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def measure_pool(graph, profile, store_dir, seed=0):
+    """Cold fill vs warm (store-replayed) fill of one mRR pool."""
+    model = IndependentCascade()
+    eta = max(1, int(profile["eta_fraction"] * graph.n))
+    rule = RootCountRule.for_target(graph.n, eta)
+
+    def fill(store):
+        context = ExecutionContext(
+            sample_batch_size=profile["batch_size"], pool_store=store
+        )
+        engine = mrr_batch_sampler(
+            graph, model, rule, seed=seed,
+            batch_size=profile["batch_size"], context=context,
+        )
+        index = CoverageIndex(graph.n)
+        seconds = _time(lambda: engine.fill(index, profile["pool_sets"]))
+        members, indptr = index.packed()
+        # The restored generator state is part of the contract: the next
+        # draw after a warm fill must equal the next draw after the cold
+        # fill, or a later grow_to would diverge.
+        probe = engine._rng.integers(0, 2**32, size=4)
+        return seconds, (members.copy(), indptr.copy(), probe)
+
+    cold_seconds, cold = fill(PoolStore(store_dir))
+    warm_store = PoolStore(store_dir)
+    warm_seconds, warm = fill(warm_store)
+    identical = all(np.array_equal(c, w) for c, w in zip(cold, warm))
+    return {
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "bit_identical": bool(identical and warm_store.stats.hits >= 1),
+    }
+
+
+def measure_crn(graph, profile, store_dir, seed=0):
+    """Cold vs warm CRN world generation, spread matrix compared."""
+    model = IndependentCascade()
+    candidates = [[int(v)] for v in range(profile["crn_candidates"])]
+
+    def evaluate(store):
+        context = ExecutionContext(pool_store=store)
+        holder = {}
+        seconds = _time(
+            lambda: holder.setdefault(
+                "evaluator",
+                CRNSpreadEvaluator(
+                    graph, model, n_sims=profile["crn_worlds"], seed=seed,
+                    context=context,
+                ),
+            )
+        )
+        values = holder["evaluator"].evaluate_many(candidates)
+        return seconds, np.asarray(values)
+
+    cold_seconds, cold_values = evaluate(PoolStore(store_dir))
+    warm_store = PoolStore(store_dir)
+    warm_seconds, warm_values = evaluate(warm_store)
+    return {
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "bit_identical": bool(
+            np.array_equal(cold_values, warm_values)
+            and warm_store.stats.hits >= 1
+        ),
+    }
+
+
+def measure_sweep(profile, store_dir, seed=0):
+    """End-to-end harness: store-less vs cold-store vs warm-store."""
+    def run(pool_store):
+        config = quick_config(
+            graph_n=profile["sweep_n"],
+            realizations=profile["sweep_realizations"],
+            algorithms=("ASTI",),
+            eta_fractions=(0.05, 0.15),
+            seed=seed,
+        ).scaled(pool_store=pool_store)
+        holder = {}
+        seconds = _time(lambda: holder.setdefault("sweep", run_sweep(config)))
+        sweep = holder["sweep"]
+        counts = [
+            r.seed_count
+            for eta in sweep.eta_values
+            for r in sweep.outcomes[eta]["ASTI"].runs
+        ]
+        return seconds, counts
+
+    plain_seconds, plain_counts = run(None)
+    cold_seconds, cold_counts = run(store_dir)
+    warm_seconds, warm_counts = run(store_dir)
+    return {
+        "plain_seconds": round(plain_seconds, 4),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "bit_identical": bool(plain_counts == cold_counts == warm_counts),
+        "seed_counts": plain_counts,
+    }
+
+
+def measure_planner(graph, profile, seed=0):
+    """Grid-measure batch sizes, then require the planner to pick well.
+
+    Each grid point is a full pool fill at that ``sample_batch_size``;
+    the timings become a calibration table for this exact graph, and the
+    planner's pick must be within :data:`PLANNER_MAX_RATIO` of the best
+    recorded point *on the recorded timings* — a deterministic bar (the
+    planner argmins over exactly these measurements), so the gate checks
+    the planning plumbing, not the host's timer stability.
+    """
+    model = IndependentCascade()
+    eta = max(1, int(profile["planner_eta_fraction"] * graph.n))
+    rule = RootCountRule.for_target(graph.n, eta)
+    stats = graph_stats(graph)
+
+    recorded = {}
+    for batch in profile["planner_batches"]:
+        engine = mrr_batch_sampler(graph, model, rule, seed=seed, batch_size=batch)
+        index = CoverageIndex(graph.n)
+        recorded[batch] = _time(lambda: engine.fill(index, profile["pool_sets"]))
+
+    table = CalibrationTable(
+        entries=tuple(
+            CalibrationEntry(
+                n=stats.n, m=stats.m, degree_skew=stats.degree_skew,
+                model="IC", sample_batch_size=batch, mc_batch_size=None,
+                jobs=1, kernel_backend="auto", seconds=seconds,
+            )
+            for batch, seconds in recorded.items()
+        )
+    )
+    decision = plan(graph, "IC", calibration=table)
+    best_seconds = min(recorded.values())
+    picked_seconds = recorded.get(decision.sample_batch_size, float("inf"))
+    return {
+        "grid_seconds": {str(b): round(s, 4) for b, s in recorded.items()},
+        "picked_batch": decision.sample_batch_size,
+        "picked_seconds": round(picked_seconds, 4),
+        "best_seconds": round(best_seconds, 4),
+        "ratio": round(picked_seconds / best_seconds, 3),
+        "source": decision.source,
+        "within_bar": bool(
+            decision.source == "calibration"
+            and picked_seconds <= PLANNER_MAX_RATIO * best_seconds
+        ),
+    }
+
+
+def measure(profile: dict, seed: int = 0) -> dict:
+    graph = build_graph(profile["graph_n"], seed=seed)
+    with tempfile.TemporaryDirectory(prefix="repro-pool-store-") as tmp:
+        cases = {
+            "pool": measure_pool(graph, profile, os.path.join(tmp, "pool"), seed),
+            "crn": measure_crn(graph, profile, os.path.join(tmp, "crn"), seed),
+            "sweep": measure_sweep(profile, os.path.join(tmp, "sweep"), seed),
+        }
+    planner = measure_planner(graph, profile, seed)
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "graph_n": graph.n,
+        "graph_m": graph.m,
+        "cpus": os.cpu_count(),
+        "pool_sets": profile["pool_sets"],
+        "crn_jobs": profile["crn_candidates"] * profile["crn_worlds"],
+        "cases": cases,
+        "planner": planner,
+    }
+
+
+def record(result: dict) -> None:
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    history = []
+    if RESULTS_PATH.exists():
+        history = json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
+    history.append(result)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+
+
+def report(result: dict, out=sys.stdout) -> None:
+    print(
+        f"graph: n={result['graph_n']} m={result['graph_m']} | "
+        f"{result['pool_sets']} pool sets, {result['crn_jobs']} CRN evals",
+        file=out,
+    )
+    for name, case in result["cases"].items():
+        print(
+            f"  {name:<6} cold {case['cold_seconds']:>8.3f}s   "
+            f"warm {case['warm_seconds']:>8.3f}s   "
+            f"speedup {case['speedup']:>7.2f}x   "
+            f"bit-identical {case['bit_identical']}",
+            file=out,
+        )
+    planner = result["planner"]
+    print(
+        f"  planner picked batch={planner['picked_batch']} "
+        f"({planner['picked_seconds']:.3f}s) vs best {planner['best_seconds']:.3f}s "
+        f"ratio {planner['ratio']:.3f} [{planner['source']}] "
+        f"within-bar {planner['within_bar']}",
+        file=out,
+    )
+
+
+def check_identity(result: dict) -> None:
+    """Raise unless every leg replayed bit-identically."""
+    broken = [
+        name
+        for name, case in result["cases"].items()
+        if not case["bit_identical"]
+    ]
+    if broken:
+        raise SystemExit(f"store replay not bit-identical: {broken}")
+    if not result["planner"]["within_bar"]:
+        raise SystemExit(
+            f"planner pick outside {PLANNER_MAX_RATIO}x of best grid point: "
+            f"{result['planner']}"
+        )
+
+
+def check_gates(result: dict, min_warm_speedup: float) -> None:
+    check_identity(result)
+    failures = {
+        name: case["speedup"]
+        for name, case in result["cases"].items()
+        if name != "sweep" and case["speedup"] < min_warm_speedup
+    }
+    if failures:
+        raise SystemExit(
+            f"warm-speedup gate failed (< {min_warm_speedup}x): {failures}"
+        )
+    # The sweep leg re-pays everything but the sampling, so its bar is
+    # only "warm is not slower" — the bit-identity flags carry the rigor.
+    if result["cases"]["sweep"]["speedup"] < 1.0:
+        raise SystemExit(
+            f"warm sweep slower than cold: {result['cases']['sweep']}"
+        )
+
+
+def test_pool_store_gate():
+    """Bit-identity always; the speedup bar when the cold legs are real."""
+    import pytest
+
+    result = measure(QUICK)
+    report(result)
+    check_identity(result)
+    slow_enough = all(
+        result["cases"][name]["cold_seconds"] >= MIN_MEASURABLE_COLD_SECONDS
+        for name in ("pool", "crn")
+    )
+    if not slow_enough:
+        pytest.skip(
+            "cold legs under "
+            f"{MIN_MEASURABLE_COLD_SECONDS}s are timer noise; the CI "
+            "benchmark step gates the warm speedup"
+        )
+    for name in ("pool", "crn"):
+        case = result["cases"][name]
+        assert case["speedup"] >= DEFAULT_MIN_WARM_SPEEDUP, (name, case)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-scale profile")
+    parser.add_argument(
+        "--min-warm-speedup",
+        type=float,
+        default=DEFAULT_MIN_WARM_SPEEDUP,
+        help=f"warm-vs-cold gate on the pool and CRN legs "
+        f"(default {DEFAULT_MIN_WARM_SPEEDUP})",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero unless every bit-identity bar holds, every "
+        "warm leg clears --min-warm-speedup, and the planner pick is "
+        f"within {PLANNER_MAX_RATIO}x of the best grid point",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    result = measure(QUICK if args.quick else FULL, seed=args.seed)
+    report(result)
+    record(result)
+    print(f"appended to {RESULTS_PATH}")
+    if args.gate:
+        check_gates(result, args.min_warm_speedup)
+    else:
+        check_identity(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ from repro.graph.digraph import DiGraph
 from repro.errors import ReproError
 from repro.parallel import FaultPolicy, ParallelRuntime
 from repro.runtime import ExecutionContext
+from repro.store import PoolStore
 
 __all__ = [
     "__version__",
@@ -52,4 +53,5 @@ __all__ = [
     "ReproError",
     "ParallelRuntime",
     "FaultPolicy",
+    "PoolStore",
 ]

@@ -27,7 +27,7 @@ from repro.diffusion.montecarlo import (
     DEFAULT_MC_BATCH_SIZE,
     estimate_truncated_spread,
 )
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments import datasets
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.export import write_sweep_csv, write_sweep_json
@@ -83,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
         "that are identical for every worker count)",
     )
     _add_kernel_argument(solve)
+    _add_store_arguments(solve)
     _add_fault_arguments(solve)
     solve.add_argument("--epsilon", type=float, default=0.5)
     solve.add_argument("--max-samples", type=int, default=None)
@@ -140,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
         "are identical for any value; 1 = in-process)",
     )
     _add_kernel_argument(sweep)
+    _add_store_arguments(sweep)
     _add_fault_arguments(sweep)
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--out-csv", default=None, help="write per-run rows")
@@ -178,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
         "historical single-stream path)",
     )
     _add_kernel_argument(estimate)
+    _add_store_arguments(estimate)
     _add_fault_arguments(estimate)
     estimate.add_argument("--seed", type=int, default=0)
 
@@ -218,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="cooldown before rebuilding a worker pool that exhausted "
         "its fault budgets (requests run in-process meanwhile)",
     )
+    serve.add_argument(
+        "--pool-store", default=None, metavar="PATH",
+        help="persistent artifact store directory: warm mRR pools load "
+        "from it on boot and spill back to it on drain, surviving "
+        "restarts (omit to keep the cache memory-only)",
+    )
     _add_kernel_argument(serve)
     _add_fault_arguments(serve)
     return parser
@@ -232,6 +241,35 @@ def _add_kernel_argument(sub: argparse.ArgumentParser) -> None:
         "backend when numba is installed and the graph is large enough, "
         "'numba' requires it, 'numpy' pins the vectorized reference "
         "(outputs are bit-identical across backends)",
+    )
+
+
+def _add_store_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--pool-store",
+        default=None,
+        metavar="PATH",
+        help="persistent artifact store directory: (m)RR pools and CRN "
+        "realization batches are cached there keyed by their exact "
+        "generation recipe, so repeated runs skip regeneration with "
+        "bit-identical results (omit to disable)",
+    )
+    sub.add_argument(
+        "--plan",
+        choices=("manual", "auto"),
+        default="manual",
+        help="'auto' lets the execution planner pick sample-batch-size, "
+        "mc-batch-size, jobs, and kernel-backend from the graph's "
+        "statistics and --calibration data (explicit knob flags are "
+        "ignored); 'manual' (default) uses the flags as given",
+    )
+    sub.add_argument(
+        "--calibration",
+        default=None,
+        metavar="PATH",
+        help="calibration JSON for --plan auto (emit one with "
+        "examples/context_tuning.py --out); without it the planner "
+        "falls back to a conservative static heuristic",
     )
 
 
@@ -281,13 +319,49 @@ def _make_model(name: str):
     return IndependentCascade() if name == "IC" else LinearThreshold()
 
 
-def _context_from_args(args) -> ExecutionContext:
+def _store_from_args(args):
+    path = getattr(args, "pool_store", None)
+    if path is None:
+        return None
+    if not str(path).strip():
+        # Path("") is the current directory — refuse rather than scatter
+        # store artifacts into the working tree.
+        raise ConfigurationError(
+            "--pool-store requires a directory path, got an empty string"
+        )
+    from repro.store import PoolStore
+
+    return PoolStore(path)
+
+
+def _context_from_args(args, graph=None) -> ExecutionContext:
     """One :class:`ExecutionContext` per CLI invocation.
 
     All engine knobs funnel through the context's shared validators, so a
     bad ``--jobs`` or ``--sample-batch-size`` is rejected with exactly the
     same message the library raises (``repro.utils.validation``).
+
+    With ``--plan auto`` and a loaded ``graph``, the performance knobs come
+    from the execution planner instead of the flags (fed by
+    ``--calibration`` when given); recovery policy always comes from the
+    flags.
     """
+    store = _store_from_args(args)
+    fault_policy = FaultPolicy(
+        chunk_timeout=getattr(args, "chunk_timeout", None),
+        max_retries=getattr(args, "max_retries", 2),
+        on_pool_failure=getattr(args, "on_pool_failure", "degrade"),
+    )
+    if getattr(args, "plan", "manual") == "auto" and graph is not None:
+        return ExecutionContext.from_plan(
+            graph,
+            getattr(args, "model", "IC"),
+            calibration=getattr(args, "calibration", None),
+            mc_tolerance=getattr(args, "mc_tolerance", None),
+            reuse_pool=getattr(args, "reuse_pool", True),
+            fault_policy=fault_policy,
+            pool_store=store,
+        )
     return ExecutionContext(
         sample_batch_size=getattr(args, "sample_batch_size", DEFAULT_BATCH_SIZE),
         mc_batch_size=getattr(args, "mc_batch_size", None),
@@ -295,11 +369,8 @@ def _context_from_args(args) -> ExecutionContext:
         reuse_pool=getattr(args, "reuse_pool", True),
         jobs=getattr(args, "jobs", None),
         kernel_backend=getattr(args, "kernel_backend", "auto"),
-        fault_policy=FaultPolicy(
-            chunk_timeout=getattr(args, "chunk_timeout", None),
-            max_retries=getattr(args, "max_retries", 2),
-            on_pool_failure=getattr(args, "on_pool_failure", "degrade"),
-        ),
+        fault_policy=fault_policy,
+        pool_store=store,
     )
 
 
@@ -345,7 +416,7 @@ def _cmd_datasets(args, out) -> int:
 def _cmd_solve(args, out) -> int:
     graph = _load_graph(args)
     model = _make_model(args.model)
-    with _context_from_args(args) as context, ASTI(
+    with _context_from_args(args, graph=graph) as context, ASTI(
         model,
         epsilon=args.epsilon,
         batch_size=args.batch_size,
@@ -401,6 +472,9 @@ def _cmd_sweep(args, out) -> int:
         chunk_timeout=args.chunk_timeout,
         max_retries=args.max_retries,
         on_pool_failure=args.on_pool_failure,
+        pool_store=args.pool_store,
+        plan=args.plan,
+        calibration=args.calibration,
         seed=args.seed,
     )
     sweep = run_sweep(config)
@@ -434,7 +508,7 @@ def _cmd_estimate(args, out) -> int:
     graph = _load_graph(args)
     model = _make_model(args.model)
     seeds = _parse_int_list(args.seeds)
-    with _context_from_args(args) as context:
+    with _context_from_args(args, graph=graph) as context:
         return _estimate_with_context(args, out, graph, model, seeds, context)
 
 
@@ -489,6 +563,7 @@ def _cmd_serve(args, out) -> int:
         cache_bytes=args.cache_bytes,
         quarantine_seconds=args.quarantine_seconds,
         kernel_backend=args.kernel_backend,
+        pool_store=args.pool_store,
         fault_policy=FaultPolicy(
             chunk_timeout=args.chunk_timeout,
             max_retries=args.max_retries,

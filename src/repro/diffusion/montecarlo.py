@@ -437,9 +437,56 @@ class CRNSpreadEvaluator:
         self.model = model
         self.n_sims = int(n_sims)
         rng = as_generator(seed)
-        realizations = [
-            model.sample_realization(graph, rng) for _ in range(self.n_sims)
-        ]
+        # Persistent realization-batch cache (see repro.store): the worlds
+        # are a pure function of (graph, model, n_sims, the generator's
+        # exact pre-sampling state), so a hit restores the recorded
+        # post-sampling state and is bit-identical to resampling.  Unseeded
+        # evaluators skip the store — nothing could ever hit their keys.
+        store = (
+            context.pool_store
+            if context is not None and seed is not None
+            else None
+        )
+        store_key = None
+        realizations = None
+        if store is not None:
+            from repro.store import (
+                artifact_key,
+                generator_state,
+                graph_fingerprint,
+                model_key,
+                restore_generator_state,
+                rng_state_token,
+            )
+
+            store_key = artifact_key(
+                "crn",
+                {
+                    "graph": graph_fingerprint(graph),
+                    "model": model_key(model),
+                    "n_sims": self.n_sims,
+                    "state": rng_state_token(rng),
+                },
+            )
+            cached = store.load(store_key)
+            if cached is not None:
+                arrays, meta = cached
+                kind = meta.get("world_kind")
+                if kind in ("ic", "lt") and restore_generator_state(
+                    rng, meta.get("rng_state")
+                ):
+                    self._kind = kind
+                    self._worlds = arrays["worlds"]
+                    self._vectorized = True
+                    if context is not None:
+                        context.tally("pool_store_crn_hits")
+                else:
+                    store_key = None  # unusable artifact: resample, no save
+        if not hasattr(self, "_kind"):
+            realizations = [
+                model.sample_realization(graph, rng)
+                for _ in range(self.n_sims)
+            ]
         self._bitset_budget = max(int(bitset_budget), graph.n)
         self._mc_batch_size = mc_batch_size
         self._runtime = runtime
@@ -450,6 +497,8 @@ class CRNSpreadEvaluator:
         # exception window can strand the segment until runtime close.
         self._worlds_stack = contextlib.ExitStack()
         self._scratch: np.ndarray = None
+        if realizations is None:
+            return  # worlds restored from the store above
         first = realizations[0]
         if isinstance(first, ICRealization):
             self._kind = "ic"
@@ -465,6 +514,14 @@ class CRNSpreadEvaluator:
             self._kind = None
             self._realizations = realizations  # fallback replay needs them
             self._vectorized = False
+        if store is not None and store_key is not None and self._vectorized:
+            from repro.store import generator_state
+
+            store.save(
+                store_key,
+                {"worlds": self._worlds},
+                {"world_kind": self._kind, "rng_state": generator_state(rng)},
+            )
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -163,10 +163,62 @@ def sample_shared_realizations(
     model: DiffusionModel,
     count: int,
     seed: int,
+    context: Optional[ExecutionContext] = None,
 ) -> list[Realization]:
-    """The shared ground-truth worlds every algorithm is scored against."""
+    """The shared ground-truth worlds every algorithm is scored against.
+
+    With a ``context`` carrying a :class:`~repro.store.PoolStore`, the
+    stacked worlds are cached on disk keyed by (graph fingerprint, model,
+    count, seed) — each stream is freshly spawned from ``seed``, so the
+    integer seed *is* the complete randomness recipe and a hit reconstructs
+    the exact realization objects.
+    """
+    store = context.pool_store if context is not None else None
+    store_key = None
+    if store is not None:
+        from repro.diffusion.realization import ICRealization, LTRealization
+        from repro.store import artifact_key, graph_fingerprint, model_key
+
+        store_key = artifact_key(
+            "worlds",
+            {
+                "graph": graph_fingerprint(graph),
+                "model": model_key(model),
+                "count": int(count),
+                "seed": int(seed),
+            },
+        )
+        cached = store.load(store_key)
+        if cached is not None:
+            arrays, meta = cached
+            kind = meta.get("world_kind")
+            worlds = arrays.get("worlds")
+            if worlds is not None and len(worlds) == count:
+                if kind == "ic":
+                    context.tally("pool_store_world_hits")
+                    return [ICRealization(graph, row) for row in worlds]
+                if kind == "lt":
+                    context.tally("pool_store_world_hits")
+                    return [LTRealization(graph, row) for row in worlds]
     streams = spawn_generators(seed, count)
-    return [model.sample_realization(graph, rng) for rng in streams]
+    realizations = [model.sample_realization(graph, rng) for rng in streams]
+    if store_key is not None and realizations:
+        from repro.diffusion.realization import ICRealization, LTRealization
+
+        first = realizations[0]
+        if isinstance(first, ICRealization):
+            store.save(
+                store_key,
+                {"worlds": np.stack([r.live_edges for r in realizations])},
+                {"world_kind": "ic"},
+            )
+        elif isinstance(first, LTRealization):
+            store.save(
+                store_key,
+                {"worlds": np.stack([r.chosen_source for r in realizations])},
+                {"world_kind": "lt"},
+            )
+    return realizations
 
 
 def run_eta_point(
@@ -363,11 +415,15 @@ def run_sweep(config: ExperimentConfig) -> SweepResult:
     """
     model = config.make_model()
     outcomes: dict[int, dict[str, AlgorithmOutcome]] = {}
-    with config.to_context() as context:
-        graph = context.apply_storage(config.build_graph())
+    # The graph is built before the context so ``plan="auto"`` configs can
+    # hand its statistics to the execution planner.
+    built_graph = config.build_graph()
+    with config.to_context(graph=built_graph) as context:
+        graph = context.apply_storage(built_graph)
         context.note_graph(graph)
         realizations = sample_shared_realizations(
-            graph, model, config.realizations, seed=config.seed + 10
+            graph, model, config.realizations, seed=config.seed + 10,
+            context=context,
         )
         eta_values = config.eta_values(graph.n)
         for eta in eta_values:
@@ -390,4 +446,8 @@ def run_sweep(config: ExperimentConfig) -> SweepResult:
         # worker crashes reports the same results as a clean one, so the
         # fault_* counters are the only place the recovery shows.
         context.note_faults()
+        # And the persistent store's hit/miss/eviction activity: a warm
+        # run is bit-identical to a cold one, so these counters are the
+        # only place the reuse shows.
+        context.note_store()
     return SweepResult(config=config, eta_values=eta_values, outcomes=outcomes)

@@ -407,6 +407,45 @@ class DiGraph:
         )
         return DiGraph.from_arrays(self.n, src, dst, probs, storage=self.storage)
 
+    def relabeled(
+        self, order: Optional[np.ndarray] = None
+    ) -> tuple["DiGraph", np.ndarray]:
+        """Renumber the nodes along a permutation; same graph, new ids.
+
+        ``order[new_id] = old_id`` — the node that becomes id ``0`` is
+        ``order[0]``.  With ``order=None`` the degree-descending
+        permutation from :func:`repro.graph.analysis.degree_order` is
+        used, which packs the high-degree hubs into a small id prefix so
+        the sampling kernels' frontier/visited arrays touch a compact
+        region of memory.  Returns ``(relabeled_graph, order)``; recover
+        original ids from any result computed on the relabeled graph with
+        ``order[new_ids]``.
+
+        The relabeled graph is isomorphic by construction: every edge
+        ``u -> v`` with probability ``p`` becomes
+        ``inverse[u] -> inverse[v]`` with the same ``p``, and the storage
+        policy is inherited.  Sampling streams are *not* preserved (RR
+        sets depend on node ids), so relabeling is a preprocessing step —
+        fix the order before seeding, not mid-run.
+        """
+        if order is None:
+            from repro.graph.analysis import degree_order
+
+            order = degree_order(self)
+        order = np.asarray(order, dtype=np.int64)
+        if order.shape != (self.n,):
+            raise GraphError(
+                f"order must have shape ({self.n},), got {order.shape}"
+            )
+        if not np.array_equal(np.sort(order), np.arange(self.n, dtype=np.int64)):
+            raise GraphError("order must be a permutation of 0..n-1")
+        inverse = np.argsort(order)  # inverse[old_id] = new_id
+        src, dst, probs = self.edge_arrays()
+        relabeled = DiGraph.from_arrays(
+            self.n, inverse[src], inverse[dst], probs, storage=self.storage
+        )
+        return relabeled, order
+
     def induced_subgraph(self, keep: np.ndarray) -> tuple["DiGraph", np.ndarray]:
         """Induce the subgraph on the nodes flagged in boolean mask ``keep``.
 

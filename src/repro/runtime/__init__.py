@@ -15,10 +15,22 @@ from repro.runtime.context import (
     default_context,
     resolve_context,
 )
+from repro.runtime.planner import (
+    CalibrationEntry,
+    CalibrationTable,
+    GraphStats,
+    PlanDecision,
+    plan,
+)
 
 __all__ = [
     "ExecutionContext",
     "default_context",
     "resolve_context",
     "UNSET",
+    "CalibrationEntry",
+    "CalibrationTable",
+    "GraphStats",
+    "PlanDecision",
+    "plan",
 ]

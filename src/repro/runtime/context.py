@@ -40,6 +40,8 @@ import numpy as np
 if TYPE_CHECKING:
     from repro.graph.digraph import DiGraph
     from repro.parallel.runtime import FaultPolicy, ParallelRuntime
+    from repro.runtime.planner import PlanDecision
+    from repro.store import PoolStore
     from repro.testing.faults import FaultInjection
 
 from repro.errors import ConfigurationError
@@ -126,6 +128,12 @@ class ExecutionContext:
     kernel_backend: str = "auto"
     fault_policy: Optional[FaultPolicy] = None
     fault_injection: Optional[FaultInjection] = None
+    #: Optional persistent artifact store (:class:`repro.store.PoolStore`).
+    #: When set, the (m)RR sampler, the CRN evaluator, and the harness check
+    #: it before regenerating pools / realization batches; hits are
+    #: bit-identical by construction (content-addressed on the exact
+    #: generation recipe, RNG state included).  ``None`` disables caching.
+    pool_store: Optional[PoolStore] = None
     #: Aggregated diagnostics sink: engines tally counters here (mRR pool
     #: builds and carry-over totals via ``build_round_pool``) and sweeps
     #: record decisions (the graph's storage/dtype choice via
@@ -165,6 +173,14 @@ class ExecutionContext:
                 raise ConfigurationError(
                     f"fault_injection must be a FaultInjection, "
                     f"got {type(self.fault_injection).__name__}"
+                )
+        if self.pool_store is not None:
+            from repro.store import PoolStore
+
+            if not isinstance(self.pool_store, PoolStore):
+                raise ConfigurationError(
+                    f"pool_store must be a PoolStore, "
+                    f"got {type(self.pool_store).__name__}"
                 )
         self._runtime: Optional[ParallelRuntime] = None
         self._owns_runtime: bool = False
@@ -249,6 +265,71 @@ class ExecutionContext:
         if self.jobs is None:
             return self
         return self.replace(jobs=None)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_plan(
+        cls,
+        graph: DiGraph,
+        model: object,
+        *,
+        calibration: object = None,
+        **overrides: Any,
+    ) -> ExecutionContext:
+        """Build a context whose knobs are chosen by the execution planner.
+
+        The planner (:mod:`repro.runtime.planner`) picks
+        ``sample_batch_size``, ``mc_batch_size``, ``jobs``, and
+        ``kernel_backend`` from the graph's statistics (n, m, degree skew)
+        and the diffusion model, using measured calibration data when
+        ``calibration`` (a path or a loaded
+        :class:`~repro.runtime.planner.CalibrationTable`) is usable and a
+        conservative static heuristic otherwise.  Explicit ``overrides``
+        always win over planned values; the decision lands in
+        :attr:`diagnostics` via :meth:`note_plan`.
+        """
+        from repro.runtime.planner import plan
+
+        decision = plan(graph, model, calibration=calibration)
+        knobs: dict[str, Any] = decision.knobs()
+        knobs.update(overrides)
+        context = cls(**knobs)
+        context.note_plan(decision)
+        return context
+
+    def note_plan(self, decision: PlanDecision) -> None:
+        """Record what the planner chose and why (``plan_*`` diagnostics)."""
+        self.record(
+            plan_source=decision.source,
+            plan_reason=decision.reason,
+            plan_sample_batch_size=decision.sample_batch_size,
+            plan_mc_batch_size=decision.mc_batch_size,
+            plan_jobs=decision.jobs,
+            plan_kernel_backend=decision.kernel_backend,
+            plan_fixture=decision.fixture,
+            plan_distance=decision.distance,
+        )
+
+    def note_store(self) -> None:
+        """Record the pool store's activity (``pool_store_*`` diagnostics).
+
+        The persistence companion of :meth:`note_kernels` /
+        :meth:`note_faults`: copies the store's counters (hits, misses,
+        stores, evictions, corrupt discards, bytes moved) into the
+        diagnostics sink.  No-op without a store.
+        """
+        if self.pool_store is None:
+            return
+        self.record(pool_store_root=str(self.pool_store.root))
+        self.record(
+            **{
+                f"pool_store_{key}": value
+                for key, value in self.pool_store.stats.as_dict().items()
+            }
+        )
 
     # ------------------------------------------------------------------
     # RNG factory

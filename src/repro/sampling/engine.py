@@ -35,6 +35,14 @@ from repro.diffusion.base import DiffusionModel
 from repro.errors import ConfigurationError, SamplingError
 from repro.graph.digraph import DiGraph
 from repro.sampling.coverage import CoverageIndex
+from repro.store.keys import (
+    artifact_key,
+    generator_state,
+    graph_fingerprint,
+    model_key,
+    restore_generator_state,
+    rng_state_token,
+)
 from repro.utils.rng import RandomSource, as_generator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (mrr imports engine)
@@ -230,6 +238,17 @@ class BatchSampler:
         )
         self._rng = as_generator(seed)
         self._runtime = runtime
+        # Persistent artifact store (see repro.store): consulted before
+        # regenerating a fill.  Disabled for unseeded samplers — their
+        # stream is OS entropy, so no future run could ever hit the
+        # entries they would write.
+        self._store = (
+            context.pool_store
+            if context is not None and seed is not None
+            else None
+        )
+        self._context = context
+        self._recipe_fields: Optional[dict[str, object]] = None
         # Chunk-indexed seeding root: one draw from the caller's stream
         # fixes every future chunk's stream up front (SeedSequence.spawn
         # tracks how many children were already spawned, so the k-th chunk
@@ -299,17 +318,50 @@ class BatchSampler:
             raise SamplingError(f"count must be non-negative, got {count}")
         if self._runtime is not None:
             return self._fill_parallel(index, count)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        store_key = None
+        if self._store is not None:
+            # Single-stream path: the fill consumes the caller's shared
+            # stream, so the recipe keys on the generator's exact state
+            # going in, and a hit restores the recorded state coming out —
+            # every downstream draw is bit-identical to regenerating.
+            store_key = artifact_key(
+                "pool",
+                {
+                    **self._recipe(),
+                    "mode": "stream",
+                    "count": int(count),
+                    "state": rng_state_token(self._rng),
+                },
+            )
+            cached = self._store.load(store_key)
+            if cached is not None:
+                arrays, meta = cached
+                if restore_generator_state(self._rng, meta.get("rng_state")):
+                    index.add_batch(arrays["members"], arrays["indptr"])
+                    self._tally("pool_store_pool_hits")
+                    return arrays["root_counts"]
         remaining = count
-        collected = []
+        batches = []
         while remaining > 0:
             step = min(remaining, self.batch_size)
             members, indptr, root_counts = self._sample_batch_counted(step)
             index.add_batch(members, indptr)
-            collected.append(root_counts)
+            batches.append((members, indptr, root_counts))
             remaining -= step
-        if not collected:
-            return np.empty(0, dtype=np.int64)
-        return np.concatenate(collected)
+        if store_key is not None:
+            members, indptr = _merge_csr_batches(batches)
+            self._store.save(
+                store_key,
+                {
+                    "members": members,
+                    "indptr": indptr,
+                    "root_counts": np.concatenate([b[2] for b in batches]),
+                },
+                {"rng_state": generator_state(self._rng)},
+            )
+        return np.concatenate([b[2] for b in batches])
 
     def grow_to(self, index: CoverageIndex, theta: int) -> np.ndarray:
         """Top ``index`` up to at least ``theta`` sets; see :meth:`fill`."""
@@ -336,6 +388,31 @@ class BatchSampler:
             remaining -= step
         if not chunks:
             return np.empty(0, dtype=np.int64)
+        store_key = None
+        if self._store is not None:
+            # Chunk-seeded path: every chunk's stream is fixed by the root
+            # SeedSequence's entropy and the global spawn offset, so those
+            # two values (plus the chunk decomposition) *are* the exact
+            # randomness recipe — no generator state to capture.  A hit
+            # spawns (and discards) the same children to keep the offset
+            # aligned for subsequent fills.
+            store_key = artifact_key(
+                "pool",
+                {
+                    **self._recipe(),
+                    "mode": "chunks",
+                    "entropy": str(self._chunk_root.entropy),
+                    "spawn_offset": int(self._chunk_root.n_children_spawned),
+                    "chunks": chunks,
+                },
+            )
+            cached = self._store.load(store_key)
+            if cached is not None:
+                arrays, _ = cached
+                self._chunk_root.spawn(len(chunks))
+                index.add_batch(arrays["members"], arrays["indptr"])
+                self._tally("pool_store_pool_hits")
+                return arrays["root_counts"]
         seqs = self._chunk_root.spawn(len(chunks))
         if not self._runtime.parallel:
             results = [
@@ -364,7 +441,69 @@ class BatchSampler:
         for members, indptr, root_counts in results:
             index.add_batch(members, indptr)
             collected.append(root_counts)
+        if store_key is not None:
+            members, indptr = _merge_csr_batches(list(results))
+            self._store.save(
+                store_key,
+                {
+                    "members": members,
+                    "indptr": indptr,
+                    "root_counts": np.concatenate(collected),
+                },
+                {},
+            )
         return np.concatenate(collected)
+
+    # ------------------------------------------------------------------
+    # Persistent-store plumbing
+    # ------------------------------------------------------------------
+
+    def _recipe(self) -> dict[str, object]:
+        """The generation-recipe fields shared by every fill of this sampler."""
+        if self._recipe_fields is None:
+            self._recipe_fields = {
+                "graph": graph_fingerprint(self.graph),
+                "model": model_key(self.model),
+                "roots": _roots_token(self.roots),
+                "batch_size": self.batch_size,
+            }
+        return self._recipe_fields
+
+    def _tally(self, name: str) -> None:
+        if self._context is not None:
+            self._context.tally(name)
+
+
+def _roots_token(roots: RootDrawer) -> str:
+    """A root-drawer's identity for the store's generation-recipe key."""
+    if isinstance(roots, RandomizedRoundingRootDrawer):
+        rule = roots.rule
+        return (
+            f"rounding(n={roots.n},k_low={rule.k_low},"
+            f"fraction={rule.fraction!r})"
+        )
+    if isinstance(roots, UniformRootDrawer):
+        return f"uniform(n={roots.n})"
+    # Unknown drawers key on their type: never a wrong hit, at worst a
+    # collision between two instances of the same (parameterless) class —
+    # which the RNG-state / seed-recipe component still disambiguates.
+    return f"{type(roots).__module__}.{type(roots).__qualname__}"
+
+
+def _merge_csr_batches(
+    batches: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate per-batch ``(members, indptr, _)`` CSR pieces."""
+    members = np.concatenate([batch[0] for batch in batches])
+    total_sets = sum(len(batch[1]) - 1 for batch in batches)
+    indptr = np.zeros(total_sets + 1, dtype=np.int64)
+    position, offset = 1, 0
+    for _members, batch_indptr, _ in batches:
+        size = len(batch_indptr) - 1
+        indptr[position:position + size] = batch_indptr[1:] + offset
+        position += size
+        offset += int(batch_indptr[-1])
+    return members, indptr
 
 
 def rr_batch_sampler(

@@ -137,6 +137,18 @@ class ServiceCache:
         self.stats.hits += 1
         return entry.value
 
+    def entries(self) -> list[tuple[CacheKey, Any, int]]:
+        """Every live entry as ``(key, value, nbytes)``, LRU-first.
+
+        A read-only snapshot (does not touch recency); the server's
+        drain path walks it to spill pool entries to the persistent
+        artifact store.
+        """
+        return [
+            (key, entry.value, entry.nbytes)
+            for key, entry in self._entries.items()
+        ]
+
     def put(self, key: CacheKey, value: Any, nbytes: int) -> bool:
         """Store ``value``; returns False when the key's breaker is open.
 

@@ -78,6 +78,7 @@ from repro.service.protocol import (
     ok_reply,
     parse_request,
 )
+from repro.store import PoolStore, artifact_key
 from repro.testing.faults import (
     FaultInjection,
     ServiceFaultInjection,
@@ -103,6 +104,10 @@ class ServiceConfig:
     breaker_cooldown: float = DEFAULT_COOLDOWN_SECONDS
     quarantine_seconds: float = 30.0
     kernel_backend: str = "auto"
+    #: Persistent artifact store directory (None = memory-only cache).
+    #: On boot the cache warm-starts from spilled pool snapshots; on
+    #: drain the live pool entries are spilled back (see ``--pool-store``).
+    pool_store: Optional[str] = None
     fault_policy: Optional[FaultPolicy] = None
     #: Chaos only: wrapped around the shared runtime's worker submissions.
     worker_injection: Optional[FaultInjection] = None
@@ -151,7 +156,12 @@ class SeedService:
             "carry_adopted": 0,
             "carry_discarded": 0,
             "shutting_down_replies": 0,
+            "store_warm_loaded": 0,
+            "store_spilled": 0,
         }
+        self.store: Optional[PoolStore] = (
+            PoolStore(config.pool_store) if config.pool_store else None
+        )
         self._log = log if log is not None else sys.stderr
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._semaphore: Optional[asyncio.Semaphore] = None
@@ -169,6 +179,78 @@ class SeedService:
         self._runtime: Optional[ParallelRuntime] = None
         self._runtime_lock = threading.Lock()
         self._quarantine: Optional[Deadline] = None
+        self._warm_start_cache()
+
+    # ------------------------------------------------------------------
+    # Persistent pool store (warm-start / spill)
+    # ------------------------------------------------------------------
+
+    def _warm_start_cache(self) -> None:
+        """Reload spilled pool snapshots from the persistent store.
+
+        Runs once at construction, before the listener binds, so the
+        first request after a restart can adopt a pool the previous
+        incarnation spilled on drain.  Loads are digest-verified by the
+        store; anything unreadable is silently discarded (the cache just
+        starts cold for that key).  Revalidation-on-hit still guards
+        every adoption, so a stale snapshot can degrade only the
+        speedup, never the reply bytes.
+        """
+        if self.store is None:
+            return
+        for store_key in self.store.keys():
+            if not store_key.startswith("service-"):
+                continue
+            loaded = self.store.load(store_key)
+            if loaded is None:
+                continue
+            arrays, meta = loaded
+            raw_key = meta.get("service_key")
+            if not isinstance(raw_key, list):
+                continue
+            try:
+                pool = CarriedMRRPool(
+                    members=arrays["members"],
+                    indptr=arrays["indptr"],
+                    root_counts=arrays["root_counts"],
+                )
+            except KeyError:
+                continue
+            cache_key: tuple[Any, ...] = tuple(raw_key)
+            if self.cache.put(
+                cache_key, pool, handlers.carried_pool_nbytes(pool)
+            ):
+                self.counters["store_warm_loaded"] += 1
+
+    def _spill_cache(self) -> None:
+        """Write the cache's live pool entries to the persistent store.
+
+        Runs on drain (event-loop thread, after every admitted request
+        settled).  Only pool snapshots spill — graph entries are cheap
+        to rebuild from the dataset loader.  ``save`` never raises, so a
+        full disk or a lost directory degrades to a cold next boot.
+        """
+        if self.store is None:
+            return
+        for cache_key, value, _nbytes in self.cache.entries():
+            if not (cache_key and cache_key[0] == "pool"):
+                continue
+            if not isinstance(value, CarriedMRRPool):
+                continue
+            store_key = artifact_key(
+                "service", {"service_key": list(cache_key)}
+            )
+            saved = self.store.save(
+                store_key,
+                {
+                    "members": value.members,
+                    "indptr": value.indptr,
+                    "root_counts": value.root_counts,
+                },
+                {"service_key": list(cache_key)},
+            )
+            if saved:
+                self.counters["store_spilled"] += 1
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -206,6 +288,7 @@ class SeedService:
         finally:
             for signum in installed:
                 self._loop.remove_signal_handler(signum)
+            self._spill_cache()
             self._executor.shutdown(wait=True, cancel_futures=True)
             with self._runtime_lock:
                 if self._runtime is not None:
@@ -590,6 +673,14 @@ class SeedService:
                 "bytes": self.cache.total_bytes,
                 **self.cache.stats.as_dict(),
             },
+            "store": (
+                None
+                if self.store is None
+                else {
+                    "root": str(self.store.root),
+                    **self.store.stats.as_dict(),
+                }
+            ),
             "runtime": {
                 "quarantined": quarantined,
                 "fault_stats": fault_stats,

@@ -1,0 +1,310 @@
+"""The on-disk artifact store: npz payloads + JSON manifests.
+
+Layout: each artifact is a pair of files in one flat directory::
+
+    <root>/<key>.npz     the numpy payload (named arrays, uncompressed)
+    <root>/<key>.json    the manifest: key, format version, payload digest,
+                         payload byte count, caller metadata
+
+Guarantees:
+
+* **Atomic writes** — both files are staged as temporaries in the store
+  directory and published with ``os.replace`` (payload first, manifest
+  last), so readers either see a complete artifact or none.  Concurrent
+  writers of the same key are safe: the last ``os.replace`` wins.
+* **Verified loads** — a load re-hashes the payload bytes and compares
+  against the manifest digest; any mismatch (truncation, torn concurrent
+  rewrite, bit rot) or any other failure discards the artifact and returns
+  ``None`` — callers silently regenerate, the store **never crashes a
+  run**.  Discards are counted in :attr:`PoolStore.stats`.
+* **Bounded size** — after every save the store evicts
+  least-recently-used artifacts (manifest mtime, refreshed on every hit)
+  until total payload+manifest bytes fit ``max_bytes``.
+
+The store is picklable (configuration only, counters reset), so an
+:class:`~repro.runtime.context.ExecutionContext` carrying one can cross a
+process boundary; worker-side stores operate on the same directory and
+remain safe thanks to the atomic publish protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Union
+
+import numpy as np
+
+from repro.store.keys import ARTIFACT_FORMAT_VERSION
+
+#: Default byte budget: generous for pools/worlds at benchmark scale while
+#: still bounding an unattended store (e.g. a long-lived service host).
+DEFAULT_STORE_BYTES = 2 * 1024 ** 3
+
+_MANIFEST_SUFFIX = ".json"
+_PAYLOAD_SUFFIX = ".npz"
+
+
+@dataclass
+class StoreStats:
+    """Counters for diagnostics (surfaced via ``context.note_store()``)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    store_failures: int = 0
+    evictions: int = 0
+    corrupt_discarded: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "store_failures": self.store_failures,
+            "evictions": self.evictions,
+            "corrupt_discarded": self.corrupt_discarded,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+
+@dataclass
+class PoolStore:
+    """Content-addressed artifact store for pools and realization batches.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the artifacts; created on first save.
+    max_bytes:
+        Byte budget over payload+manifest files; least-recently-used
+        artifacts are evicted after each save until the store fits.
+    clock:
+        Injectable time source for the LRU recency stamp (tests substitute
+        a deterministic counter).
+    """
+
+    root: Union[str, Path]
+    max_bytes: int = DEFAULT_STORE_BYTES
+    clock: Callable[[], float] = time.time
+    stats: StoreStats = field(default_factory=StoreStats, repr=False)
+
+    def __post_init__(self) -> None:
+        if not str(self.root).strip():
+            # Path("") silently means the current directory; an empty root
+            # would scatter artifacts into whatever the cwd happens to be.
+            raise ValueError("store root must be a directory path, got ''")
+        self.root = Path(self.root)
+        if self.max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {self.max_bytes}")
+
+    # -- pickling: configuration crosses processes, counters stay local --
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {"root": str(self.root), "max_bytes": self.max_bytes}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.root = Path(state["root"])
+        self.max_bytes = int(state["max_bytes"])
+        self.clock = time.time
+        self.stats = StoreStats()
+
+    # -- paths ---------------------------------------------------------
+
+    def _manifest_path(self, key: str) -> Path:
+        return Path(self.root) / f"{key}{_MANIFEST_SUFFIX}"
+
+    def _payload_path(self, key: str) -> Path:
+        return Path(self.root) / f"{key}{_PAYLOAD_SUFFIX}"
+
+    def keys(self) -> list[str]:
+        """Keys with a published manifest, oldest recency stamp first."""
+        root = Path(self.root)
+        if not root.is_dir():
+            return []
+        stamped: list[tuple[float, str]] = []
+        for manifest in root.glob(f"*{_MANIFEST_SUFFIX}"):
+            try:
+                stamped.append((manifest.stat().st_mtime, manifest.stem))
+            except OSError:
+                continue
+        return [key for _, key in sorted(stamped)]
+
+    def total_bytes(self) -> int:
+        """Bytes currently on disk across payloads and manifests."""
+        root = Path(self.root)
+        if not root.is_dir():
+            return 0
+        total = 0
+        for path in root.iterdir():
+            if path.suffix in (_MANIFEST_SUFFIX, _PAYLOAD_SUFFIX):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue
+        return total
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # -- load ----------------------------------------------------------
+
+    def load(self, key: str) -> Optional[tuple[dict[str, np.ndarray], dict[str, Any]]]:
+        """Return ``(arrays, meta)`` for ``key``, or ``None`` on any miss.
+
+        Every failure mode — absent files, unparsable manifest, version or
+        key mismatch, payload digest mismatch, undecodable npz — discards
+        the artifact (best-effort) and reads as a miss; the caller
+        regenerates and the run proceeds.
+        """
+        manifest_path = self._manifest_path(key)
+        payload_path = self._payload_path(key)
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            if manifest_path.exists() or payload_path.exists():
+                self._discard_corrupt(key)
+            self.stats.misses += 1
+            return None
+        try:
+            if manifest.get("version") != ARTIFACT_FORMAT_VERSION:
+                raise ValueError("artifact format version mismatch")
+            if manifest.get("key") != key:
+                raise ValueError("manifest key mismatch")
+            payload = payload_path.read_bytes()
+            digest = hashlib.sha256(payload).hexdigest()
+            if digest != manifest.get("digest"):
+                raise ValueError("payload digest mismatch")
+            with np.load(io.BytesIO(payload), allow_pickle=False) as bundle:
+                arrays = {name: bundle[name] for name in bundle.files}
+        except (OSError, ValueError, KeyError, EOFError):
+            self._discard_corrupt(key)
+            self.stats.misses += 1
+            return None
+        meta = manifest.get("meta")
+        if not isinstance(meta, dict):
+            meta = {}
+        self._touch(manifest_path, payload_path)
+        self.stats.hits += 1
+        self.stats.bytes_read += len(payload)
+        return arrays, meta
+
+    def _touch(self, *paths: Path) -> None:
+        """Refresh the LRU recency stamp on a hit."""
+        now = self.clock()
+        for path in paths:
+            try:
+                os.utime(path, (now, now))
+            except OSError:
+                continue
+
+    def _discard_corrupt(self, key: str) -> None:
+        self.stats.corrupt_discarded += 1
+        for path in (self._manifest_path(key), self._payload_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+
+    # -- save ----------------------------------------------------------
+
+    def save(
+        self,
+        key: str,
+        arrays: dict[str, np.ndarray],
+        meta: Optional[dict[str, Any]] = None,
+    ) -> bool:
+        """Persist ``arrays`` (+ JSON-able ``meta``) under ``key``.
+
+        Returns False — never raises — when the write cannot complete
+        (disk full, permissions, unserializable meta): the store is an
+        accelerator, not a dependency.
+        """
+        try:
+            buffer = io.BytesIO()
+            np.savez(buffer, **arrays)
+            payload = buffer.getvalue()
+            manifest = json.dumps(
+                {
+                    "key": key,
+                    "version": ARTIFACT_FORMAT_VERSION,
+                    "digest": hashlib.sha256(payload).hexdigest(),
+                    "nbytes": len(payload),
+                    "meta": meta or {},
+                },
+                sort_keys=True,
+            )
+            root = Path(self.root)
+            root.mkdir(parents=True, exist_ok=True)
+            self._publish(root, payload, self._payload_path(key))
+            self._publish(root, manifest.encode("utf-8"), self._manifest_path(key))
+        except (OSError, ValueError, TypeError):
+            self.stats.store_failures += 1
+            return False
+        self.stats.stores += 1
+        self.stats.bytes_written += len(payload)
+        self._touch(self._manifest_path(key), self._payload_path(key))
+        self._evict_over_budget(keep=key)
+        return True
+
+    def _publish(self, root: Path, data: bytes, destination: Path) -> None:
+        """Stage ``data`` as a sibling temporary, then atomically rename."""
+        fd, tmp_name = tempfile.mkstemp(
+            dir=root, prefix=".tmp-", suffix=destination.suffix
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, destination)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- eviction ------------------------------------------------------
+
+    def _artifact_nbytes(self, key: str) -> int:
+        total = 0
+        for path in (self._manifest_path(key), self._payload_path(key)):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def _evict_over_budget(self, keep: Optional[str] = None) -> None:
+        """Drop least-recently-used artifacts until the store fits.
+
+        The just-saved key is evicted last (only when it alone exceeds the
+        budget — mirroring the service cache's oversized-entry policy).
+        """
+        ordered = self.keys()
+        if keep is not None and keep in ordered:
+            ordered.remove(keep)
+            ordered.append(keep)
+        sizes = {key: self._artifact_nbytes(key) for key in ordered}
+        total = sum(sizes.values())
+        for key in ordered:
+            if total <= self.max_bytes:
+                return
+            self._evict(key)
+            total -= sizes[key]
+
+    def _evict(self, key: str) -> None:
+        self.stats.evictions += 1
+        for path in (self._manifest_path(key), self._payload_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                continue

@@ -126,6 +126,16 @@ class TestJobsFlag:
         assert code == 2
         assert "jobs" in capsys.readouterr().err
 
+    def test_empty_pool_store_rejected_cleanly(self, capsys):
+        # Path("") is the cwd — an empty --pool-store must error rather
+        # than scatter store artifacts into the working tree.
+        code, _ = run_cli(
+            ["solve", "--dataset", "nethept-sim", "--n", "120", "--eta", "8",
+             "--pool-store", ""]
+        )
+        assert code == 2
+        assert "pool-store" in capsys.readouterr().err
+
     def test_solve_jobs_one_runs_chunk_seeded_in_process(self):
         code, text = run_cli(
             ["solve", "--dataset", "nethept-sim", "--n", "150", "--eta", "10",

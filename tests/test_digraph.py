@@ -209,3 +209,81 @@ class TestReachability:
     def test_invalid_source(self, path3):
         with pytest.raises(NodeNotFoundError):
             nodes_reachable_from(path3, [9])
+
+
+class TestRelabeled:
+    def big_graph(self):
+        from repro.graph import generators, weighting
+
+        return weighting.weighted_cascade(
+            generators.preferential_attachment(200, 3, seed=2, directed=False)
+        )
+
+    def test_default_order_is_degree_descending(self):
+        graph = self.big_graph()
+        relabeled, order = graph.relabeled()
+        degrees = relabeled.in_degrees() + relabeled.out_degrees()
+        assert np.all(degrees[:-1] >= degrees[1:])
+        # order[new_id] = old_id matches the analysis helper exactly.
+        from repro.graph.analysis import degree_order
+
+        assert np.array_equal(order, degree_order(graph))
+
+    def test_isomorphic_edges(self):
+        graph = self.big_graph()
+        relabeled, order = graph.relabeled()
+        inverse = np.argsort(order)
+        src, dst, probs = graph.edge_arrays()
+        rsrc, rdst, rprobs = relabeled.edge_arrays()
+        expected = sorted(zip(inverse[src], inverse[dst], probs))
+        actual = sorted(zip(rsrc, rdst, rprobs))
+        assert expected == actual
+
+    def test_inverse_mapping_round_trip(self):
+        """Relabeling by the inverse permutation recovers original ids."""
+        graph = self.big_graph()
+        relabeled, order = graph.relabeled()
+        inverse = np.argsort(order)
+        # relabeled ids map back: order[new_id] = old_id, so relabeling
+        # the relabeled graph by `inverse` (as its order) restores the
+        # original numbering exactly.
+        restored, _ = relabeled.relabeled(inverse)
+        assert restored == graph
+
+    def test_explicit_order(self, path3):
+        order = np.array([2, 1, 0])
+        relabeled, returned = path3.relabeled(order)
+        assert np.array_equal(returned, order)
+        # Old edge 0 -> 1 becomes 2 -> 1; old 1 -> 2 becomes 1 -> 0.
+        assert relabeled.has_edge(2, 1) and relabeled.has_edge(1, 0)
+
+    def test_storage_policy_inherited(self):
+        graph = self.big_graph()
+        wide = graph.with_storage("wide")
+        relabeled, _ = wide.relabeled()
+        assert relabeled.storage == "wide"
+
+    def test_rejects_non_permutation(self, path3):
+        with pytest.raises(GraphError):
+            path3.relabeled(np.zeros(3, dtype=np.int64))
+        with pytest.raises(GraphError):
+            path3.relabeled(np.arange(2))
+
+
+class TestDegreeOrder:
+    def test_direction_variants(self):
+        from repro.graph.analysis import degree_order
+
+        g = DiGraph.from_edges(
+            3, [(0, 1, 0.5), (0, 2, 0.5), (1, 2, 0.5)]
+        )
+        assert degree_order(g, "out").tolist()[0] == 0
+        assert degree_order(g, "in").tolist()[0] == 2
+        with pytest.raises(ValueError):
+            degree_order(g, "sideways")
+
+    def test_ties_break_by_id(self, path3):
+        from repro.graph.analysis import degree_order
+
+        # path 0 -> 1 -> 2: total degrees are 1, 2, 1; ties ascending id.
+        assert degree_order(path3).tolist() == [1, 0, 2]
